@@ -1,0 +1,61 @@
+// Command xmarkgen generates XMark auction documents (the repository's
+// stand-in for the benchmark's xmlgen). A factor-1.0 document is roughly
+// 100 MB.
+//
+// Usage:
+//
+//	xmarkgen -factor 0.01 -seed 42 -o auction.xml
+//	xmarkgen -factor 0.01 -dtd          # print the auction DTD instead
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xmlproj/internal/xmark"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("xmarkgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	factor := fs.Float64("factor", 0.01, "XMark scale factor (1.0 ≈ 100 MB)")
+	seed := fs.Int64("seed", 42, "generator seed (same factor+seed → identical document)")
+	out := fs.String("o", "", "output file (default stdout)")
+	dtdOnly := fs.Bool("dtd", false, "print the auction DTD and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	defer bw.Flush()
+
+	if *dtdOnly {
+		_, err := io.WriteString(bw, xmark.DTDSource)
+		return err
+	}
+	doc := xmark.NewGenerator(*factor, *seed).Document()
+	if err := doc.WriteXML(bw); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(bw)
+	return err
+}

@@ -1,0 +1,162 @@
+// Command xmlprune prunes an XML document for a set of queries: it
+// infers the type projector from the DTD and the queries' data needs,
+// then streams the document through the one-pass pruner.
+//
+// Usage:
+//
+//	xmlprune -dtd auction.dtd -root site -q '//person[homepage]/name' \
+//	         -q 'for $i in /site/regions/australia/item return $i/name' \
+//	         -in auction.xml -out pruned.xml
+//
+// Multiple -q flags build one union projector (§5: a single pruned
+// document serves the whole bunch). With -show the inferred projector is
+// printed instead of pruning; -validate fuses DTD validation with the
+// prune; -save-projector / -load-projector persist an inferred projector
+// so loaders can reuse it without re-running the analysis.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"xmlproj"
+)
+
+type queryList []string
+
+func (q *queryList) String() string     { return fmt.Sprint(*q) }
+func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlprune:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("xmlprune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dtdPath := fs.String("dtd", "", "DTD file, or an XML Schema if the name ends in .xsd (required)")
+	root := fs.String("root", "", "root element (default: first declared)")
+	in := fs.String("in", "", "input document (default stdin)")
+	out := fs.String("out", "", "output document (default stdout)")
+	show := fs.Bool("show", false, "print the inferred projector and exit")
+	saveProj := fs.String("save-projector", "", "also write the inferred projector to this file")
+	loadProj := fs.String("load-projector", "", "skip inference and load a projector previously saved with -save-projector")
+	validateFlag := fs.Bool("validate", false, "validate while pruning")
+	materialize := fs.Bool("materialize", true, "keep full subtrees of result nodes")
+	var queries queryList
+	fs.Var(&queries, "q", "query (XPath or XQuery); repeatable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *dtdPath == "" || (len(queries) == 0 && *loadProj == "") {
+		fs.Usage()
+		return fmt.Errorf("-dtd and at least one -q (or -load-projector) are required")
+	}
+
+	d, err := parseSchema(*dtdPath, *root)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var p *xmlproj.Projector
+	if *loadProj != "" {
+		text, err := os.ReadFile(*loadProj)
+		if err != nil {
+			return err
+		}
+		if p, err = d.LoadProjector(text); err != nil {
+			return err
+		}
+	} else {
+		compiled := make([]*xmlproj.Query, len(queries))
+		for i, src := range queries {
+			q, err := xmlproj.Compile(src)
+			if err != nil {
+				return fmt.Errorf("query %q: %w", src, err)
+			}
+			compiled[i] = q
+		}
+		mode := xmlproj.NodesOnly
+		if *materialize {
+			mode = xmlproj.Materialized
+		}
+		if p, err = d.Infer(mode, compiled...); err != nil {
+			return err
+		}
+	}
+	inferTime := time.Since(start)
+	if *saveProj != "" {
+		text, err := p.MarshalText()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*saveProj, append(text, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *show {
+		fmt.Fprintf(stdout, "projector (%d names, keep ratio %.1f%%, inferred in %s):\n",
+			len(p.Names()), 100*p.KeepRatio(), inferTime)
+		for _, n := range p.Names() {
+			fmt.Fprintln(stdout, " ", n)
+		}
+		return nil
+	}
+
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	dst := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	bw := bufio.NewWriterSize(dst, 1<<20)
+	start = time.Now()
+	var stats xmlproj.PruneStats
+	if *validateFlag {
+		stats, err = p.PruneStreamValidating(bw, bufio.NewReaderSize(src, 1<<20))
+	} else {
+		stats, err = p.PruneStream(bw, bufio.NewReaderSize(src, 1<<20))
+	}
+	if err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr,
+		"xmlprune: inferred in %s; pruned in %s; elements %d -> %d; %d bytes out; depth %d\n",
+		inferTime, time.Since(start), stats.ElementsIn, stats.ElementsOut,
+		stats.BytesOut, stats.MaxDepth)
+	return nil
+}
+
+// parseSchema loads a DTD, or an XML Schema when the file has an .xsd
+// extension (lowered to a local tree grammar per the paper's footnote 1).
+func parseSchema(path, root string) (*xmlproj.DTD, error) {
+	if strings.HasSuffix(path, ".xsd") {
+		return xmlproj.ParseXSDFile(path, root)
+	}
+	return xmlproj.ParseDTDFile(path, root)
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testDTD = `
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, author+, year?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+`
+
+const testDoc = `<bib><book><title>Commedia</title><author>Dante</author><year>1313</year></book></bib>`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPrunes(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "bib.dtd", testDTD)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-dtd", dtdPath, "-q", "//book/title"},
+		strings.NewReader(testDoc), &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "<title>Commedia</title>") {
+		t.Fatalf("title lost: %s", got)
+	}
+	if strings.Contains(got, "Dante") || strings.Contains(got, "1313") {
+		t.Fatalf("authors/years not pruned: %s", got)
+	}
+	if !strings.Contains(errBuf.String(), "pruned in") {
+		t.Fatalf("stats missing: %s", errBuf.String())
+	}
+}
+
+func TestRunShow(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "bib.dtd", testDTD)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-dtd", dtdPath, "-q", "//book/year", "-show"},
+		strings.NewReader(""), &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "year") || strings.Contains(out.String(), "author") {
+		t.Fatalf("-show output wrong: %s", out.String())
+	}
+}
+
+func TestRunSaveAndLoadProjector(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "bib.dtd", testDTD)
+	projPath := filepath.Join(dir, "pi.txt")
+	var out1, out2, errBuf bytes.Buffer
+	if err := run([]string{"-dtd", dtdPath, "-q", "//book/title", "-save-projector", projPath},
+		strings.NewReader(testDoc), &out1, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dtd", dtdPath, "-load-projector", projPath},
+		strings.NewReader(testDoc), &out2, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("loaded projector prunes differently:\n%s\n%s", out1.String(), out2.String())
+	}
+}
+
+func TestRunValidateRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "bib.dtd", testDTD)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-dtd", dtdPath, "-q", "//title", "-validate"},
+		strings.NewReader(`<bib><book><author>no title</author></book></bib>`), &out, &errBuf)
+	if err == nil {
+		t.Fatal("invalid document accepted with -validate")
+	}
+}
+
+func TestRunMissingArgs(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out, &errBuf); err == nil {
+		t.Fatal("missing -dtd/-q accepted")
+	}
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "bib.dtd", testDTD)
+	if err := run([]string{"-dtd", dtdPath, "-q", "]broken["},
+		strings.NewReader(""), &out, &errBuf); err == nil {
+		t.Fatal("broken query accepted")
+	}
+	if err := run([]string{"-dtd", filepath.Join(dir, "missing.dtd"), "-q", "//a"},
+		strings.NewReader(""), &out, &errBuf); err == nil {
+		t.Fatal("missing DTD file accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testDTD = `
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, author+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+`
+
+const testDoc = `<bib><book><title>Commedia</title><author>Dante</author></book><book><title>Decameron</title><author>Boccaccio</author></book></bib>`
+
+func setup(t *testing.T) (dtdPath, docPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	dtdPath = filepath.Join(dir, "bib.dtd")
+	docPath = filepath.Join(dir, "bib.xml")
+	if err := os.WriteFile(dtdPath, []byte(testDTD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(docPath, []byte(testDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dtdPath, docPath
+}
+
+func TestRunXPath(t *testing.T) {
+	_, docPath := setup(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-q", "//title/text()", "-in", docPath}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "Commedia\nDecameron" {
+		t.Fatalf("output = %q", got)
+	}
+	if !strings.Contains(errBuf.String(), "2 item(s)") {
+		t.Fatalf("stats = %q", errBuf.String())
+	}
+}
+
+func TestRunXQuery(t *testing.T) {
+	_, docPath := setup(t)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-q", `for $b in /bib/book return <a>{ $b/author/text() }</a>`, "-in", docPath}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "<a>Dante</a>") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestRunWithPrune(t *testing.T) {
+	dtdPath, docPath := setup(t)
+	var plain, prunedOut, errBuf bytes.Buffer
+	if err := run([]string{"-q", "//title/text()", "-in", docPath}, &plain, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-q", "//title/text()", "-in", docPath, "-dtd", dtdPath, "-prune"}, &prunedOut, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != prunedOut.String() {
+		t.Fatalf("pruned run differs:\n%q\n%q", plain.String(), prunedOut.String())
+	}
+	if !strings.Contains(errBuf.String(), "pruned") {
+		t.Fatalf("prune stats missing: %q", errBuf.String())
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	_, docPath := setup(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-q", "//title", "-in", docPath, "-quiet"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("quiet run produced output: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dtdPath, docPath := setup(t)
+	var out, errBuf bytes.Buffer
+	if err := run(nil, &out, &errBuf); err == nil {
+		t.Fatal("missing args accepted")
+	}
+	if err := run([]string{"-q", "//a", "-in", "/nonexistent.xml"}, &out, &errBuf); err == nil {
+		t.Fatal("missing doc accepted")
+	}
+	if err := run([]string{"-q", "//a", "-in", docPath, "-prune"}, &out, &errBuf); err == nil {
+		t.Fatal("-prune without -dtd accepted")
+	}
+	_ = dtdPath
+}

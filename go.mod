@@ -1,0 +1,3 @@
+module xmlproj
+
+go 1.22

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// PrintTable1 renders Table 1 of the paper for the given rows: per query,
+// document sizes, the pruned fraction, memory use and the speed-up.
+func PrintTable1(w io.Writer, factor float64, rows []Row) {
+	fmt.Fprintf(w, "Table 1 — XMark factor %g (original document %s)\n", factor, mb(rows[0].OrigBytes))
+	fmt.Fprintf(w, "%-6s %12s %12s %8s %9s %9s %9s %8s %8s %10s\n",
+		"query", "orig", "pruned", "size%", "mem-orig", "mem-prn", "mem-x", "speed-x", "prune", "max@512MB")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %12s %12s %7.1f%% %9s %9s %8.1fx %7.1fx %8s %10s\n",
+			r.ID, mb(r.OrigBytes), mb(r.PrunedBytes), r.SizePercent,
+			mb(int64(r.Orig.AllocBytes)), mb(int64(r.Pruned.AllocBytes)), r.MemRatio,
+			r.Speedup, round(r.PruneTime), mb(r.MaxDocAt(512<<20)))
+	}
+}
+
+// PrintFigure4 renders Figure 4: per-query processing time on the
+// original and the pruned document.
+func PrintFigure4(w io.Writer, rows []Row) {
+	fmt.Fprintf(w, "Figure 4 — query processing time (parse + evaluate)\n")
+	fmt.Fprintf(w, "%-6s %12s %12s\n", "query", "original", "pruned")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %12s %12s\n", r.ID, round(r.Orig.Time), round(r.Pruned.Time))
+	}
+}
+
+// PrintFigure5 renders Figure 5: per-query memory (bytes allocated) on
+// the original and the pruned document.
+func PrintFigure5(w io.Writer, rows []Row) {
+	fmt.Fprintf(w, "Figure 5 — memory used to process a query\n")
+	fmt.Fprintf(w, "%-6s %12s %12s\n", "query", "original", "pruned")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %12s %12s\n", r.ID, mb(int64(r.Orig.AllocBytes)), mb(int64(r.Pruned.AllocBytes)))
+	}
+}
+
+// PrintBaseline renders the comparison with the path-based pruner of
+// [14]: retained bytes (precision) and visited nodes (pruning work).
+func PrintBaseline(w io.Writer, comps []BaselineComparison) {
+	fmt.Fprintf(w, "Baseline — type-based vs path-based projection [14]\n")
+	fmt.Fprintf(w, "%-6s %14s %14s %14s %14s %6s\n",
+		"query", "type-pruned", "path-pruned", "type-visits", "path-visits", "exact")
+	for _, c := range comps {
+		fmt.Fprintf(w, "%-6s %14s %14s %14d %14d %6v\n",
+			c.ID, mb(c.TypePrunedBytes), mb(c.PathPrunedBytes), c.TypeVisited, c.PathVisited, c.PathExact)
+	}
+}
+
+func mb(b int64) string {
+	switch {
+	case b >= 10*1024*1024:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1024*1024))
+	case b >= 10*1024:
+		return fmt.Sprintf("%.1fKB", float64(b)/1024)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func round(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

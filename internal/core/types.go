@@ -1,0 +1,224 @@
+// Package core implements the paper's central contribution: the static
+// analysis that infers a type projector from an XPathℓ path and a DTD.
+//
+// It has two layers, mirroring §4 of the paper:
+//
+//   - the type system of Fig. 1 (this file): judgements
+//     (τ,κ) ⊢E Path : (τ′,κ′) computing the set of names a path can
+//     produce, with *contexts* κ making upward axes precise;
+//   - the projector-inference rules of Fig. 2 (projector.go): judgements
+//     (τ,κ) ⊩E Path : π computing the type projector itself.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlproj/internal/dtd"
+	"xmlproj/internal/xpath"
+	"xmlproj/internal/xpathl"
+)
+
+// Env is an environment Σ = (τ, κ): the current type and context. The
+// context contains only names occurring on chains that end at names in τ
+// (well-formedness, §4.1); it is what makes the analysis of upward axes
+// precise on DTDs where a name occurs in several contents.
+type Env struct {
+	Tau   dtd.NameSet
+	Kappa dtd.NameSet
+}
+
+func (e Env) String() string {
+	return fmt.Sprintf("(%s, %s)", e.Tau, e.Kappa)
+}
+
+// RootEnv is the initial environment ({X}, {X}) for a DTD rooted at X.
+func RootEnv(d *dtd.DTD) Env {
+	return Env{Tau: dtd.NewNameSet(d.Root), Kappa: dtd.NewNameSet(d.Root)}
+}
+
+// AxisType implements A_E(τ, Axis) of Def. 4.1 extended with the
+// descendant-or-self / ancestor-or-self / attribute axes used by the
+// implementation (§6).
+func AxisType(d *dtd.DTD, tau dtd.NameSet, axis xpath.Axis) dtd.NameSet {
+	switch axis {
+	case xpath.Self:
+		return tau.Clone()
+	case xpath.Child:
+		return d.ContentStep(tau)
+	case xpath.Descendant:
+		return d.ContentDescendants(tau)
+	case xpath.DescendantOrSelf:
+		return tau.Union(d.ContentDescendants(tau))
+	case xpath.Parent:
+		return d.StepUp(tau)
+	case xpath.Ancestor:
+		return d.Ancestors(tau)
+	case xpath.AncestorOrSelf:
+		return tau.Union(d.Ancestors(tau))
+	case xpath.Attribute:
+		return d.AttNames(tau)
+	default:
+		// Sibling and preceding/following axes are rewritten away by
+		// xpathl.RewriteAxis before the analysis runs.
+		return dtd.NameSet{}
+	}
+}
+
+// TestType implements T_E(τ, Test) of Def. 4.1. Attribute names can only
+// enter a type through the attribute axis (A_E filters them out
+// everywhere else), so name and * tests match them by their attribute
+// part without needing to know the axis — which the encoding
+// Axis::Test ⇒ Axis::node/self::Test erases anyway.
+func TestType(d *dtd.DTD, tau dtd.NameSet, test xpath.NodeTest) dtd.NameSet {
+	out := dtd.NameSet{}
+	for n := range tau {
+		switch test.Kind {
+		case xpath.TestNode:
+			out.Add(n)
+		case xpath.TestText:
+			if n.IsText() {
+				out.Add(n)
+			}
+		case xpath.TestStar:
+			if !n.IsText() {
+				out.Add(n)
+			}
+		case xpath.TestName:
+			if n.IsAttr() {
+				if strings.HasSuffix(string(n), "@"+test.Name) {
+					out.Add(n)
+				}
+			} else if !n.IsText() {
+				if def := d.Def(n); def != nil && def.Tag == test.Name {
+					out.Add(n)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Checker runs the Fig. 1 type system over a fixed DTD.
+type Checker struct {
+	D *dtd.DTD
+	// NoContext disables the context intersection on upward axes — the
+	// naive type system the paper's §4.1 example rejects. It exists only
+	// for the ablation benchmark quantifying what contexts buy.
+	NoContext bool
+}
+
+// NewChecker returns a Checker for d.
+func NewChecker(d *dtd.DTD) *Checker { return &Checker{D: d} }
+
+// restrictContext returns κ ∩ (τ ∪ A_E(τ, ancestor)): the names of κ still
+// on a chain ending at τ. It re-establishes well-formedness after τ
+// shrank.
+func (c *Checker) restrictContext(kappa, tau dtd.NameSet) dtd.NameSet {
+	keep := tau.Union(c.D.Ancestors(tau))
+	return kappa.Intersect(keep)
+}
+
+// TypeSimpleStep types one predicate-free step, implementing the first
+// three rules of Fig. 1 (with Axis::Test for Test ≠ node encoded as
+// Axis::node/self::Test, fifth rule).
+func (c *Checker) TypeSimpleStep(env Env, s xpathl.SStep) Env {
+	if s.Axis != xpath.Self && (s.Test.Kind != xpath.TestNode) {
+		env = c.TypeSimpleStep(env, xpathl.SStep{Axis: s.Axis, Test: xpath.NodeTestNode})
+		return c.TypeSimpleStep(env, xpathl.SStep{Axis: xpath.Self, Test: s.Test})
+	}
+	switch {
+	case s.Axis == xpath.Self:
+		// Third rule: filter by the test, then discard context names that
+		// only led to discarded nodes.
+		tau := TestType(c.D, env.Tau, s.Test)
+		return Env{Tau: tau, Kappa: c.restrictContext(env.Kappa, tau)}
+	case s.Axis.Upward():
+		// Second rule: upward axes intersect with the context.
+		tau := AxisType(c.D, env.Tau, s.Axis)
+		if !c.NoContext {
+			tau = tau.Intersect(env.Kappa)
+			return Env{Tau: tau, Kappa: c.restrictContext(env.Kappa, tau)}
+		}
+		return Env{Tau: tau, Kappa: tau.Union(c.D.Ancestors(tau))}
+	default:
+		// First rule: downward axes extend the context.
+		tau := AxisType(c.D, env.Tau, s.Axis)
+		return Env{Tau: tau, Kappa: env.Kappa.Union(tau)}
+	}
+}
+
+// TypeSimplePath types a predicate-free path by step composition (the
+// "cut" rule of Fig. 1). Absolute paths restart from the root
+// environment.
+func (c *Checker) TypeSimplePath(env Env, p xpathl.SimplePath) Env {
+	if p.Absolute {
+		env = RootEnv(c.D)
+	}
+	for _, s := range p.Steps {
+		env = c.TypeSimpleStep(env, s)
+		if env.Tau.Empty() {
+			return Env{Tau: dtd.NameSet{}, Kappa: dtd.NameSet{}}
+		}
+	}
+	return env
+}
+
+// CondHolds reports whether the condition may hold for a single name:
+// some disjunct types to a non-empty set from ({x}, κx) (fourth rule of
+// Fig. 1).
+func (c *Checker) CondHolds(x dtd.Name, kappa dtd.NameSet, cond *xpathl.Cond) bool {
+	single := dtd.NewNameSet(x)
+	kx := kappa.Intersect(single.Union(c.D.Ancestors(single)))
+	env := Env{Tau: single, Kappa: kx}
+	for _, p := range cond.Disjuncts {
+		if !c.TypeSimplePath(env, p).Tau.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeCondStep types self::node()[Cond] (fourth rule of Fig. 1): keep the
+// names for which some disjunct may yield a non-empty result.
+func (c *Checker) TypeCondStep(env Env, cond *xpathl.Cond) Env {
+	tau := dtd.NameSet{}
+	for x := range env.Tau {
+		if c.CondHolds(x, env.Kappa, cond) {
+			tau.Add(x)
+		}
+	}
+	return Env{Tau: tau, Kappa: c.restrictContext(env.Kappa, tau)}
+}
+
+// TypeStep types one XPathℓ step, conditions included (sixth rule of
+// Fig. 1 encodes Axis::Test[Cond] as Axis::Test/self::node[Cond]).
+func (c *Checker) TypeStep(env Env, s xpathl.Step) Env {
+	env = c.TypeSimpleStep(env, s.SStep)
+	if s.Cond != nil {
+		env = c.TypeCondStep(env, s.Cond)
+	}
+	return env
+}
+
+// TypePath types a full XPathℓ path from env: the judgement
+// Σ ⊢E Path : Σ′.
+func (c *Checker) TypePath(env Env, p *xpathl.Path) Env {
+	if p.Absolute {
+		env = RootEnv(c.D)
+	}
+	for _, s := range p.Steps {
+		env = c.TypeStep(env, s)
+		if env.Tau.Empty() {
+			return Env{Tau: dtd.NameSet{}, Kappa: dtd.NameSet{}}
+		}
+	}
+	return env
+}
+
+// Type returns the type of a path evaluated from the DTD root: the set τ
+// with ({X},{X}) ⊢E P : (τ, _). Soundness (Thm. 4.4): every node produced
+// by P on a valid document has its name in τ.
+func (c *Checker) Type(p *xpathl.Path) dtd.NameSet {
+	return c.TypePath(RootEnv(c.D), p).Tau
+}

@@ -1,0 +1,286 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+const bookDTD = `
+<!-- a small bibliography -->
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, author+, year?)>
+<!ATTLIST book isbn CDATA #REQUIRED
+               lang (en|fr|it) "en">
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+`
+
+func mustDTD(t *testing.T, src, root string) *DTD {
+	t.Helper()
+	d, err := ParseString(src, root)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return d
+}
+
+func TestParseBookDTD(t *testing.T) {
+	d := mustDTD(t, bookDTD, "")
+	if d.Root != "bib" {
+		t.Fatalf("root = %s, want bib (first declared)", d.Root)
+	}
+	book := d.Def("book")
+	if book == nil || book.Tag != "book" {
+		t.Fatalf("missing book def: %+v", book)
+	}
+	if got := book.Content.String(); got != "(title, author+, year?)" {
+		t.Fatalf("book content = %s", got)
+	}
+	// PCDATA elements got a text name.
+	if td := d.Def(TextName("title")); td == nil || !td.Text {
+		t.Fatalf("title text name missing: %+v", td)
+	}
+	// Attributes.
+	isbn := book.AttDef("isbn")
+	if isbn == nil || !isbn.Required || isbn.Type != "CDATA" {
+		t.Fatalf("isbn attdef wrong: %+v", isbn)
+	}
+	lang := book.AttDef("lang")
+	if lang == nil || lang.Type != "ENUM" || len(lang.Enum) != 3 || !lang.HasDefault || lang.Default != "en" {
+		t.Fatalf("lang attdef wrong: %+v", lang)
+	}
+	if isbn.Name != AttrName("book", "isbn") {
+		t.Fatalf("derived attr name = %s", isbn.Name)
+	}
+}
+
+func TestParseExplicitRoot(t *testing.T) {
+	d := mustDTD(t, bookDTD, "book")
+	if d.Root != "book" {
+		t.Fatalf("root = %s, want book", d.Root)
+	}
+	if _, err := ParseString(bookDTD, "nosuch"); err == nil {
+		t.Fatal("undeclared root must be an error")
+	}
+}
+
+func TestParseMixedContent(t *testing.T) {
+	d := mustDTD(t, `<!ELEMENT text (#PCDATA | bold | keyword)*>
+<!ELEMENT bold (#PCDATA)>
+<!ELEMENT keyword (#PCDATA)>`, "text")
+	txt := d.Def("text")
+	names := RegexNames(txt.Content)
+	for _, want := range []Name{TextName("text"), "bold", "keyword"} {
+		if !names.Has(want) {
+			t.Fatalf("mixed content misses %s: %s", want, names)
+		}
+	}
+	if _, ok := txt.Content.(Star); !ok {
+		t.Fatalf("mixed content should be starred: %T", txt.Content)
+	}
+}
+
+func TestParseEmptyAndAny(t *testing.T) {
+	d := mustDTD(t, `<!ELEMENT r (e, w)>
+<!ELEMENT e EMPTY>
+<!ELEMENT w ANY>`, "r")
+	if _, ok := d.Def("e").Content.(Epsilon); !ok {
+		t.Fatalf("EMPTY content should be Epsilon: %T", d.Def("e").Content)
+	}
+	wNames := RegexNames(d.Def("w").Content)
+	for _, want := range []Name{"r", "e", "w", TextName("w")} {
+		if !wNames.Has(want) {
+			t.Fatalf("ANY content misses %s: %s", want, wNames)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`<!ELEMENT a (b)>`, // b undeclared
+		`<!ELEMENT a (#PCDATA)><!ELEMENT a (#PCDATA)>`, // duplicate
+		`<!ELEMENT a (b,>`,               // syntax
+		`<!ATTLIST a x CDATA #REQUIRED>`, // ATTLIST for undeclared element
+		``,                               // empty
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src, ""); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseSkipsEntityAndComments(t *testing.T) {
+	d := mustDTD(t, `<!-- c --> <!ENTITY amp "&#38;"> <!ELEMENT a EMPTY>`, "")
+	if d.Root != "a" {
+		t.Fatalf("root = %s", d.Root)
+	}
+}
+
+func TestReachability(t *testing.T) {
+	d := mustDTD(t, bookDTD, "")
+	kids := d.Children("book")
+	for _, want := range []Name{"title", "author", "year", AttrName("book", "isbn"), AttrName("book", "lang")} {
+		if !kids.Has(want) {
+			t.Fatalf("Children(book) misses %s: %s", want, kids)
+		}
+	}
+	if !d.Parents("author").Has("book") {
+		t.Fatal("Parents(author) misses book")
+	}
+	desc := d.Descendants(NewNameSet("bib"))
+	if !desc.Has(TextName("year")) {
+		t.Fatalf("Descendants(bib) misses year text: %s", desc)
+	}
+	if desc.Has("bib") {
+		t.Fatal("bib is not its own strict descendant in a non-recursive DTD")
+	}
+	anc := d.Ancestors(NewNameSet(TextName("author")))
+	if !anc.Has("book") || !anc.Has("bib") || !anc.Has("author") {
+		t.Fatalf("Ancestors wrong: %s", anc)
+	}
+}
+
+func TestProperties(t *testing.T) {
+	d := mustDTD(t, bookDTD, "")
+	if d.IsRecursive() {
+		t.Fatal("book DTD is not recursive")
+	}
+	if !d.IsStarGuarded() {
+		t.Fatal("book DTD is *-guarded (no unions outside stars)")
+	}
+	if !d.IsParentUnambiguous() {
+		t.Fatal("book DTD is parent-unambiguous")
+	}
+
+	rec := mustDTD(t, `<!ELEMENT a (a?, b)><!ELEMENT b EMPTY>`, "a")
+	if !rec.IsRecursive() {
+		t.Fatal("a -> a? is recursive")
+	}
+
+	// The paper's §4 counterexample: X → c[Y | Z] is not *-guarded.
+	ng := mustDTD(t, `<!ELEMENT c (a | b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>`, "c")
+	if ng.IsStarGuarded() {
+		t.Fatal("(a | b) without a star guard must not be *-guarded")
+	}
+	g := mustDTD(t, `<!ELEMENT c (a | b)*><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>`, "c")
+	if !g.IsStarGuarded() {
+		t.Fatal("(a | b)* is *-guarded")
+	}
+
+	// The paper's §4.1 example: X → a[Y,Z], Y → b[Z], Z → c[] is
+	// parent-ambiguous (Z is both a child and a grandchild of X).
+	pa := mustDTD(t, `<!ELEMENT a (b, c)><!ELEMENT b (c)><!ELEMENT c EMPTY>`, "a")
+	if pa.IsParentUnambiguous() {
+		t.Fatal("a/(b,c) with b/(c) is parent-ambiguous")
+	}
+}
+
+func TestNullable(t *testing.T) {
+	cases := []struct {
+		r    Regex
+		want bool
+	}{
+		{Epsilon{}, true},
+		{Ref{"a"}, false},
+		{Star{Ref{"a"}}, true},
+		{Plus{Ref{"a"}}, false},
+		{Plus{Star{Ref{"a"}}}, true},
+		{Opt{Ref{"a"}}, true},
+		{Seq{[]Regex{Star{Ref{"a"}}, Opt{Ref{"b"}}}}, true},
+		{Seq{[]Regex{Star{Ref{"a"}}, Ref{"b"}}}, false},
+		{Alt{[]Regex{Ref{"a"}, Epsilon{}}}, true},
+		{Alt{[]Regex{Ref{"a"}, Ref{"b"}}}, false},
+	}
+	for _, c := range cases {
+		if got := Nullable(c.r); got != c.want {
+			t.Errorf("Nullable(%s) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestDFAMatching(t *testing.T) {
+	// (title, author+, year?)
+	r := Seq{[]Regex{Ref{"title"}, Plus{Ref{"author"}}, Opt{Ref{"year"}}}}
+	a := CompileRegex(r)
+	ok := [][]Name{
+		{"title", "author"},
+		{"title", "author", "author", "year"},
+		{"title", "author", "year"},
+	}
+	bad := [][]Name{
+		{},
+		{"title"},
+		{"author", "title"},
+		{"title", "author", "year", "year"},
+		{"title", "year"},
+	}
+	for _, seq := range ok {
+		if !a.Matches(seq) {
+			t.Errorf("DFA rejects valid %v", seq)
+		}
+	}
+	for _, seq := range bad {
+		if a.Matches(seq) {
+			t.Errorf("DFA accepts invalid %v", seq)
+		}
+	}
+}
+
+func TestDFAStarAlt(t *testing.T) {
+	// (#PCDATA | b | k)* style content.
+	r := Star{Alt{[]Regex{Ref{"t"}, Ref{"b"}, Ref{"k"}}}}
+	a := CompileRegex(r)
+	if !a.Matches(nil) || !a.Matches([]Name{"t", "b", "t", "k", "k"}) {
+		t.Fatal("star-alt DFA rejects valid sequences")
+	}
+	if a.Matches([]Name{"t", "x"}) {
+		t.Fatal("star-alt DFA accepts foreign name")
+	}
+}
+
+func TestNameSetOps(t *testing.T) {
+	a := NewNameSet("x", "y")
+	b := NewNameSet("y", "z")
+	if got := a.Union(b); got.Len() != 3 {
+		t.Fatalf("union = %s", got)
+	}
+	if got := a.Intersect(b); got.Len() != 1 || !got.Has("y") {
+		t.Fatalf("intersect = %s", got)
+	}
+	if got := a.Minus(b); got.Len() != 1 || !got.Has("x") {
+		t.Fatalf("minus = %s", got)
+	}
+	if !a.Equal(NewNameSet("y", "x")) {
+		t.Fatal("Equal should ignore order")
+	}
+	if a.Equal(b) {
+		t.Fatal("distinct sets reported equal")
+	}
+	c := a.Clone()
+	c.Add("w")
+	if a.Has("w") {
+		t.Fatal("Clone aliases underlying map")
+	}
+	if got := NewNameSet("b", "a").String(); got != "{a, b}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestNameHelpers(t *testing.T) {
+	if !TextName("a").IsText() || Name("a").IsText() {
+		t.Fatal("IsText misclassifies")
+	}
+	if !AttrName("a", "x").IsAttr() || Name("a").IsAttr() {
+		t.Fatal("IsAttr misclassifies")
+	}
+}
+
+func TestDTDString(t *testing.T) {
+	d := mustDTD(t, `<!ELEMENT a (b*)><!ELEMENT b EMPTY>`, "a")
+	s := d.String()
+	if !strings.Contains(s, "root a") || !strings.Contains(s, "a -> a[") || !strings.Contains(s, "b -> b[()]") {
+		t.Fatalf("String output unexpected:\n%s", s)
+	}
+}

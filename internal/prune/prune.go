@@ -1,0 +1,290 @@
+// Package prune implements type-driven projection (Def. 2.7): given a
+// document valid w.r.t. a DTD and a type projector π, it erases every
+// node whose name under the interpretation ℑ is not in π.
+//
+// Two pruners are provided. PruneTree projects an in-memory document.
+// Stream is the paper's §6 pruner: a single bufferless one-pass traversal
+// of the token stream with constant memory, optionally fused with
+// validation, suitable for running at parse/load time.
+package prune
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"xmlproj/internal/dtd"
+	"xmlproj/internal/tree"
+	"xmlproj/internal/validate"
+)
+
+// Tree computes the π-projection t∖π of a document (Def. 2.7). The
+// returned document shares nothing with the input; node IDs are preserved
+// so that query results on the original and the pruned document can be
+// compared by identity (the form of Thm. 4.5).
+//
+// Attributes are kept when their derived name is in π; if the owning
+// element is kept but none of its attribute names are in π, the element
+// keeps no attributes.
+func Tree(d *dtd.DTD, doc *tree.Document, pi dtd.NameSet) *tree.Document {
+	if doc.Root == nil {
+		return &tree.Document{}
+	}
+	rootName := validate.NameOf(d, doc.Root)
+	if !pi.Has(rootName) {
+		return &tree.Document{}
+	}
+	out := &tree.Document{Root: pruneNode(d, doc.Root, pi, nil)}
+	return out
+}
+
+func pruneNode(d *dtd.DTD, n *tree.Node, pi dtd.NameSet, parent *tree.Node) *tree.Node {
+	m := &tree.Node{ID: n.ID, Kind: n.Kind, Tag: n.Tag, Data: n.Data, Parent: parent}
+	name := validate.NameOf(d, n)
+	if n.Kind == tree.Element {
+		for _, a := range n.Attrs {
+			if pi.Has(dtd.AttrName(name, a.Name)) {
+				m.Attrs = append(m.Attrs, a)
+			}
+		}
+	}
+	for _, c := range n.Children {
+		cn := validate.NameOf(d, c)
+		if !pi.Has(cn) {
+			continue
+		}
+		child := pruneNode(d, c, pi, m)
+		child.Index = len(m.Children)
+		m.Children = append(m.Children, child)
+	}
+	return m
+}
+
+// Stats reports what a streaming prune did.
+type Stats struct {
+	// ElementsIn / ElementsOut count element nodes seen / written.
+	ElementsIn, ElementsOut int64
+	// TextIn / TextOut count non-whitespace text nodes seen / written.
+	TextIn, TextOut int64
+	// BytesOut counts bytes written to the destination.
+	BytesOut int64
+	// MaxDepth is the deepest open-element stack observed — the streaming
+	// pruner's working set is proportional to this, not to the document.
+	MaxDepth int
+}
+
+// StreamOptions configures a streaming prune.
+type StreamOptions struct {
+	// Validate checks content models, attribute declarations and the root
+	// element while pruning (§6: "prune the document while validating it").
+	Validate bool
+}
+
+// Stream prunes the XML document read from src against π, writing the
+// pruned document to dst in one pass. Subtrees rooted at pruned elements
+// are skipped without buffering, so memory use is bounded by the document
+// depth.
+func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts StreamOptions) (Stats, error) {
+	var stats Stats
+	bw := bufio.NewWriterSize(countingWriter{w: dst, n: &stats.BytesOut}, 1<<16)
+	dec := xml.NewDecoder(src)
+
+	type frame struct {
+		name  dtd.Name
+		def   *dtd.Def
+		state int // content-model DFA state (when validating)
+	}
+	var stack []frame
+	sawRoot := false
+	// open is true while the most recent start tag is still unclosed in
+	// the output (no '>' written yet), enabling <e/> self-closing output.
+	open := false
+	closeOpen := func() {
+		if open {
+			bw.WriteString(">")
+			open = false
+		}
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return stats, fmt.Errorf("prune: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			stats.ElementsIn++
+			sawRoot = true
+			tag := t.Name.Local
+			name, ok := d.ElementName(tag)
+			if !ok {
+				return stats, fmt.Errorf("prune: element %q not declared in DTD", tag)
+			}
+			if len(stack) == 0 && opts.Validate && name != d.Root {
+				return stats, fmt.Errorf("prune: root element is %s, DTD requires %s", name, d.Root)
+			}
+			if opts.Validate && len(stack) > 0 {
+				top := &stack[len(stack)-1]
+				top.state = top.def.Automaton().Next(top.state, name)
+				if top.state < 0 {
+					return stats, fmt.Errorf("prune: element %s not allowed here in content of %s", name, top.name)
+				}
+			}
+			if !pi.Has(name) {
+				// One call, constant memory: the decoder discards the whole
+				// subtree without materialising it. The skipped subtree
+				// still counts as validated only shallowly; the paper's
+				// pruner behaves the same way (discarded data is not
+				// needed, hence not checked deeply).
+				if err := dec.Skip(); err != nil {
+					return stats, fmt.Errorf("prune: %w", err)
+				}
+				continue
+			}
+			def := d.Def(name)
+			closeOpen()
+			if err := writeStart(bw, tag, t.Attr, def, pi, opts); err != nil {
+				return stats, err
+			}
+			open = true
+			stack = append(stack, frame{name: name, def: def, state: def.Automaton().Start()})
+			if len(stack) > stats.MaxDepth {
+				stats.MaxDepth = len(stack)
+			}
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return stats, fmt.Errorf("prune: unbalanced end element %s", t.Name.Local)
+			}
+			top := stack[len(stack)-1]
+			if opts.Validate && !top.def.Automaton().Accepting(top.state) {
+				return stats, fmt.Errorf("prune: content of %s is incomplete (model %s)", top.name, top.def.Content)
+			}
+			stack = stack[:len(stack)-1]
+			if open {
+				bw.WriteString("/>")
+				open = false
+			} else {
+				bw.WriteString("</")
+				bw.WriteString(t.Name.Local)
+				bw.WriteString(">")
+			}
+			stats.ElementsOut++
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue
+			}
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			stats.TextIn++
+			top := &stack[len(stack)-1]
+			tn := dtd.TextName(top.name)
+			if opts.Validate {
+				next := top.def.Automaton().Next(top.state, tn)
+				if next < 0 {
+					return stats, fmt.Errorf("prune: text content not allowed in %s", top.name)
+				}
+				top.state = next
+			}
+			if pi.Has(tn) {
+				closeOpen()
+				bw.WriteString(tree.EscapeText(s))
+				stats.TextOut++
+			}
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Outside the data model; dropped (the paper's pruner keeps
+			// only elements, attributes and text).
+		}
+	}
+	if len(stack) != 0 {
+		return stats, fmt.Errorf("prune: unterminated element %s", stack[len(stack)-1].name)
+	}
+	if !sawRoot {
+		return stats, fmt.Errorf("prune: no root element in input")
+	}
+	if err := bw.Flush(); err != nil {
+		return stats, fmt.Errorf("prune: %w", err)
+	}
+	return stats, nil
+}
+
+func writeStart(bw *bufio.Writer, tag string, attrs []xml.Attr, def *dtd.Def, pi dtd.NameSet, opts StreamOptions) error {
+	bw.WriteString("<")
+	bw.WriteString(tag)
+	for _, a := range attrs {
+		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+			continue
+		}
+		if opts.Validate {
+			ad := def.AttDef(a.Name.Local)
+			if ad == nil {
+				return fmt.Errorf("prune: undeclared attribute %q on %s", a.Name.Local, tag)
+			}
+			if len(ad.Enum) > 0 && !inList(ad.Enum, a.Value) {
+				return fmt.Errorf("prune: attribute %q on %s has value %q outside its enumeration", a.Name.Local, tag, a.Value)
+			}
+		}
+		if !pi.Has(dtd.AttrName(def.Name, a.Name.Local)) {
+			continue
+		}
+		bw.WriteString(" ")
+		bw.WriteString(a.Name.Local)
+		bw.WriteString("=\"")
+		bw.WriteString(tree.EscapeAttr(a.Value))
+		bw.WriteString("\"")
+	}
+	if opts.Validate {
+		for i := range def.Atts {
+			ad := &def.Atts[i]
+			if !ad.Required {
+				continue
+			}
+			if !hasAttr(attrs, ad.Attr) {
+				return fmt.Errorf("prune: missing required attribute %q on %s", ad.Attr, tag)
+			}
+		}
+	}
+	return nil
+}
+
+func inList(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func hasAttr(attrs []xml.Attr, name string) bool {
+	for _, a := range attrs {
+		if a.Name.Local == name {
+			return true
+		}
+	}
+	return false
+}
+
+type countingWriter struct {
+	w io.Writer
+	n *int64
+}
+
+func (c countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	*c.n += int64(n)
+	return n, err
+}
+
+// StreamString is Stream over strings, for tests and tools.
+func StreamString(src string, d *dtd.DTD, pi dtd.NameSet, opts StreamOptions) (string, Stats, error) {
+	var sb strings.Builder
+	stats, err := Stream(&sb, strings.NewReader(src), d, pi, opts)
+	return sb.String(), stats, err
+}

@@ -1,0 +1,238 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r into the data model. Comments,
+// processing instructions and the document type declaration are skipped
+// (the paper's data model has only element and text nodes). Whitespace-only
+// text between elements is dropped unless it is the only content.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	dec.Strict = true
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Kind: Element, Tag: t.Name.Local}
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				n.Attrs = append(n.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("tree: parse: multiple root elements")
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].Append(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("tree: parse: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue // whitespace outside the root
+			}
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			parent := stack[len(stack)-1]
+			// Merge adjacent character data (entity boundaries etc.).
+			if k := len(parent.Children); k > 0 && parent.Children[k-1].Kind == Text {
+				parent.Children[k-1].Data += s
+				continue
+			}
+			parent.Append(NewText(s))
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Outside the data model; ignored.
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("tree: parse: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("tree: parse: unterminated element %s", stack[len(stack)-1].Tag)
+	}
+	return NewDocument(root), nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ParseBytes parses an XML document held in a byte slice.
+func ParseBytes(b []byte) (*Document, error) {
+	return Parse(bytes.NewReader(b))
+}
+
+// WriteXML serialises the document to w as XML. The output is
+// deterministic: attributes in stored order, text escaped, no added
+// whitespace.
+func (d *Document) WriteXML(w io.Writer) error {
+	bw := &errWriter{w: w}
+	writeNode(bw, d.Root)
+	return bw.err
+}
+
+// XML returns the document serialised as a string.
+func (d *Document) XML() string {
+	var sb strings.Builder
+	_ = d.WriteXML(&sb)
+	return sb.String()
+}
+
+// SerializedSize returns the number of bytes of the XML serialisation of d,
+// without materialising it.
+func (d *Document) SerializedSize() int64 {
+	cw := &countWriter{}
+	_ = d.WriteXML(cw)
+	return cw.n
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) WriteString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+func writeNode(w *errWriter, n *Node) {
+	if n == nil {
+		return
+	}
+	if n.Kind == Text {
+		w.WriteString(EscapeText(n.Data))
+		return
+	}
+	w.WriteString("<")
+	w.WriteString(n.Tag)
+	for _, a := range n.Attrs {
+		w.WriteString(" ")
+		w.WriteString(a.Name)
+		w.WriteString("=\"")
+		w.WriteString(EscapeAttr(a.Value))
+		w.WriteString("\"")
+	}
+	if len(n.Children) == 0 {
+		w.WriteString("/>")
+		return
+	}
+	w.WriteString(">")
+	for _, c := range n.Children {
+		writeNode(w, c)
+	}
+	w.WriteString("</")
+	w.WriteString(n.Tag)
+	w.WriteString(">")
+}
+
+// WriteIndentedXML serialises the document with two-space indentation for
+// human consumption. Mixed content (elements with text children) is left
+// on one line so no significant whitespace is introduced.
+func (d *Document) WriteIndentedXML(w io.Writer) error {
+	bw := &errWriter{w: w}
+	writeIndented(bw, d.Root, 0)
+	bw.WriteString("\n")
+	return bw.err
+}
+
+// IndentedXML returns the indented serialisation as a string.
+func (d *Document) IndentedXML() string {
+	var sb strings.Builder
+	_ = d.WriteIndentedXML(&sb)
+	return sb.String()
+}
+
+func writeIndented(w *errWriter, n *Node, depth int) {
+	if n == nil {
+		return
+	}
+	pad := strings.Repeat("  ", depth)
+	w.WriteString(pad)
+	if n.Kind == Text {
+		w.WriteString(EscapeText(n.Data))
+		return
+	}
+	// Mixed or leaf content stays on one line.
+	inline := len(n.Children) == 0
+	for _, c := range n.Children {
+		if c.Kind == Text {
+			inline = true
+			break
+		}
+	}
+	if inline {
+		sub := Document{Root: n}
+		w.WriteString(sub.XML())
+		return
+	}
+	w.WriteString("<")
+	w.WriteString(n.Tag)
+	for _, a := range n.Attrs {
+		w.WriteString(" ")
+		w.WriteString(a.Name)
+		w.WriteString("=\"")
+		w.WriteString(EscapeAttr(a.Value))
+		w.WriteString("\"")
+	}
+	w.WriteString(">\n")
+	for _, c := range n.Children {
+		writeIndented(w, c, depth+1)
+		w.WriteString("\n")
+	}
+	w.WriteString(pad)
+	w.WriteString("</")
+	w.WriteString(n.Tag)
+	w.WriteString(">")
+}
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// EscapeAttr escapes character data for a double-quoted attribute value.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, "&<>\"") {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", "\"", "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,118 @@
+// Package xmark is the XMark benchmark substrate [Schmidt et al.,
+// VLDB '02] used by the paper's evaluation (§6): the auction-site DTD, a
+// deterministic scalable document generator standing in for xmlgen, and
+// the twenty benchmark queries QM01–QM20.
+package xmark
+
+import "xmlproj/internal/dtd"
+
+// DTDSource is the XMark auction DTD (auction.dtd). The mixed-content
+// description subtree (text/bold/keyword/emph, parlist/listitem) is the
+// part that dominates document size — about 70% of the bytes — which is
+// what gives Table 1 its shape.
+const DTDSource = `
+<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+
+<!ELEMENT categories (category+)>
+<!ELEMENT category (name, description)>
+<!ATTLIST category id ID #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT description (text | parlist)>
+<!ELEMENT text (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT keyword (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT emph (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT parlist (listitem)*>
+<!ELEMENT listitem (text | parlist)*>
+
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT edge EMPTY>
+<!ATTLIST edge from IDREF #REQUIRED to IDREF #REQUIRED>
+
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+
+<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox)>
+<!ATTLIST item id ID #REQUIRED featured CDATA #IMPLIED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category IDREF #REQUIRED>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, text)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item IDREF #REQUIRED>
+<!ELEMENT personref EMPTY>
+<!ATTLIST personref person IDREF #REQUIRED>
+
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ATTLIST person id ID #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, province?, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT province (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT homepage (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+
+<!ELEMENT profile (interest*, education?, gender?, business, age?)>
+<!ATTLIST profile income CDATA #IMPLIED>
+<!ELEMENT interest EMPTY>
+<!ATTLIST interest category IDREF #REQUIRED>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+
+<!ELEMENT watches (watch*)>
+<!ELEMENT watch EMPTY>
+<!ATTLIST watch open_auction IDREF #REQUIRED>
+
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)>
+<!ATTLIST open_auction id ID #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT privacy (#PCDATA)>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person IDREF #REQUIRED>
+<!ELEMENT bidder (date, time, personref, increase)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT interval (start, end)>
+<!ELEMENT start (#PCDATA)>
+<!ELEMENT end (#PCDATA)>
+<!ELEMENT annotation (author, description?, happiness)>
+<!ELEMENT author EMPTY>
+<!ATTLIST author person IDREF #REQUIRED>
+<!ELEMENT happiness (#PCDATA)>
+
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation?)>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person IDREF #REQUIRED>
+<!ELEMENT price (#PCDATA)>
+`
+
+// DTD parses and returns the auction DTD (panicking on an internal error:
+// the source is a constant).
+func DTD() *dtd.DTD {
+	return dtd.MustParseString(DTDSource, "site")
+}

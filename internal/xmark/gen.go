@@ -1,0 +1,421 @@
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xmlproj/internal/tree"
+)
+
+// Cardinalities at scale factor 1.0, following xmlgen (a factor-1
+// document is roughly 100 MB).
+const (
+	baseCategories     = 1000
+	baseItems          = 21750
+	baseOpenAuctions   = 12000
+	baseClosedAuctions = 9750
+	basePersons        = 25500
+)
+
+// regionShares splits the items across the six regions, matching the
+// generator's skew (Europe and North America dominate).
+var regionShares = []struct {
+	name  string
+	share float64
+}{
+	{"africa", 0.05},
+	{"asia", 0.10},
+	{"australia", 0.10},
+	{"europe", 0.30},
+	{"namerica", 0.40},
+	{"samerica", 0.05},
+}
+
+// Generator produces XMark auction documents deterministically.
+type Generator struct {
+	rng *rand.Rand
+
+	nCategories, nItems, nOpen, nClosed, nPersons int
+}
+
+// NewGenerator returns a generator at the given scale factor, seeded
+// deterministically (same factor + seed → byte-identical document).
+func NewGenerator(factor float64, seed int64) *Generator {
+	atLeast := func(n int) int {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	return &Generator{
+		rng:         rand.New(rand.NewSource(seed)),
+		nCategories: atLeast(int(baseCategories * factor)),
+		nItems:      atLeast(int(baseItems * factor)),
+		nOpen:       atLeast(int(baseOpenAuctions * factor)),
+		nClosed:     atLeast(int(baseClosedAuctions * factor)),
+		nPersons:    atLeast(int(basePersons * factor)),
+	}
+}
+
+// Document generates the whole auction site.
+func (g *Generator) Document() *tree.Document {
+	site := tree.NewElement("site",
+		g.regions(),
+		g.categories(),
+		g.catgraph(),
+		g.people(),
+		g.openAuctions(),
+		g.closedAuctions(),
+	)
+	return tree.NewDocument(site)
+}
+
+func (g *Generator) categories() *tree.Node {
+	cats := tree.NewElement("categories")
+	for i := 0; i < g.nCategories; i++ {
+		c := tree.NewElement("category", g.nameEl(), g.description())
+		c.SetAttr("id", fmt.Sprintf("category%d", i))
+		cats.Append(c)
+	}
+	return cats
+}
+
+func (g *Generator) catgraph() *tree.Node {
+	cg := tree.NewElement("catgraph")
+	for i := 0; i < g.nCategories; i++ {
+		e := tree.NewElement("edge")
+		e.SetAttr("from", fmt.Sprintf("category%d", g.rng.Intn(g.nCategories)))
+		e.SetAttr("to", fmt.Sprintf("category%d", g.rng.Intn(g.nCategories)))
+		cg.Append(e)
+	}
+	return cg
+}
+
+func (g *Generator) regions() *tree.Node {
+	regions := tree.NewElement("regions")
+	itemID := 0
+	remaining := g.nItems
+	for i, r := range regionShares {
+		n := int(float64(g.nItems) * r.share)
+		if i == len(regionShares)-1 {
+			n = remaining
+		}
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		region := tree.NewElement(r.name)
+		for j := 0; j < n; j++ {
+			region.Append(g.item(itemID))
+			itemID++
+		}
+		regions.Append(region)
+	}
+	return regions
+}
+
+func (g *Generator) item(id int) *tree.Node {
+	it := tree.NewElement("item",
+		g.pcdata("location", g.country()),
+		g.pcdata("quantity", fmt.Sprintf("%d", 1+g.rng.Intn(5))),
+		g.nameEl(),
+		g.pcdata("payment", g.payment()),
+		g.description(),
+		g.pcdata("shipping", "Will ship internationally, See description for charges"),
+	)
+	it.SetAttr("id", fmt.Sprintf("item%d", id))
+	if g.rng.Intn(10) == 0 {
+		it.SetAttr("featured", "yes")
+	}
+	for n := 1 + g.rng.Intn(3); n > 0; n-- {
+		inc := tree.NewElement("incategory")
+		inc.SetAttr("category", fmt.Sprintf("category%d", g.rng.Intn(g.nCategories)))
+		it.Append(inc)
+	}
+	mailbox := tree.NewElement("mailbox")
+	for n := g.rng.Intn(3); n > 0; n-- {
+		mailbox.Append(tree.NewElement("mail",
+			g.pcdata("from", g.personName()+" mailto:"+g.email()),
+			g.pcdata("to", g.personName()+" mailto:"+g.email()),
+			g.pcdata("date", g.date()),
+			g.textEl(),
+		))
+	}
+	it.Append(mailbox)
+	return it
+}
+
+func (g *Generator) people() *tree.Node {
+	people := tree.NewElement("people")
+	for i := 0; i < g.nPersons; i++ {
+		p := tree.NewElement("person",
+			g.pcdata("name", g.personName()),
+			g.pcdata("emailaddress", "mailto:"+g.email()),
+		)
+		p.SetAttr("id", fmt.Sprintf("person%d", i))
+		if g.rng.Intn(2) == 0 {
+			p.Append(g.pcdata("phone", fmt.Sprintf("+%d (%d) %d", 1+g.rng.Intn(99), g.rng.Intn(999), g.rng.Intn(99999999))))
+		}
+		if g.rng.Intn(2) == 0 {
+			p.Append(tree.NewElement("address",
+				g.pcdata("street", fmt.Sprintf("%d %s St", 1+g.rng.Intn(99), g.word())),
+				g.pcdata("city", g.word()),
+				g.pcdata("country", g.country()),
+				g.pcdata("zipcode", fmt.Sprintf("%d", g.rng.Intn(99999))),
+			))
+		}
+		if g.rng.Intn(2) == 0 {
+			p.Append(g.pcdata("homepage", "http://www."+g.word()+".com/~"+g.word()))
+		}
+		if g.rng.Intn(4) != 0 {
+			p.Append(g.pcdata("creditcard", fmt.Sprintf("%d %d %d %d", 1000+g.rng.Intn(9000), 1000+g.rng.Intn(9000), 1000+g.rng.Intn(9000), 1000+g.rng.Intn(9000))))
+		}
+		if g.rng.Intn(2) == 0 {
+			p.Append(g.profile())
+		}
+		if g.rng.Intn(2) == 0 {
+			w := tree.NewElement("watches")
+			for n := g.rng.Intn(4); n > 0; n-- {
+				watch := tree.NewElement("watch")
+				watch.SetAttr("open_auction", fmt.Sprintf("open_auction%d", g.rng.Intn(g.nOpen)))
+				w.Append(watch)
+			}
+			p.Append(w)
+		}
+		people.Append(p)
+	}
+	return people
+}
+
+func (g *Generator) profile() *tree.Node {
+	pr := tree.NewElement("profile")
+	pr.SetAttr("income", fmt.Sprintf("%d.%02d", 9876+g.rng.Intn(90000), g.rng.Intn(100)))
+	for n := g.rng.Intn(4); n > 0; n-- {
+		in := tree.NewElement("interest")
+		in.SetAttr("category", fmt.Sprintf("category%d", g.rng.Intn(g.nCategories)))
+		pr.Append(in)
+	}
+	if g.rng.Intn(2) == 0 {
+		pr.Append(g.pcdata("education", pick(g.rng, educations)))
+	}
+	if g.rng.Intn(2) == 0 {
+		pr.Append(g.pcdata("gender", pick(g.rng, []string{"male", "female"})))
+	}
+	pr.Append(g.pcdata("business", pick(g.rng, []string{"Yes", "No"})))
+	if g.rng.Intn(2) == 0 {
+		pr.Append(g.pcdata("age", fmt.Sprintf("%d", 18+g.rng.Intn(60))))
+	}
+	return pr
+}
+
+func (g *Generator) openAuctions() *tree.Node {
+	oas := tree.NewElement("open_auctions")
+	for i := 0; i < g.nOpen; i++ {
+		oa := tree.NewElement("open_auction", g.money("initial"))
+		oa.SetAttr("id", fmt.Sprintf("open_auction%d", i))
+		if g.rng.Intn(2) == 0 {
+			oa.Append(g.money("reserve"))
+		}
+		for n := g.rng.Intn(5); n > 0; n-- {
+			pref := tree.NewElement("personref")
+			pref.SetAttr("person", fmt.Sprintf("person%d", g.rng.Intn(g.nPersons)))
+			oa.Append(tree.NewElement("bidder",
+				g.pcdata("date", g.date()),
+				g.pcdata("time", g.time()),
+				pref,
+				g.money("increase"),
+			))
+		}
+		oa.Append(g.money("current"))
+		if g.rng.Intn(2) == 0 {
+			oa.Append(g.pcdata("privacy", pick(g.rng, []string{"Yes", "No"})))
+		}
+		iref := tree.NewElement("itemref")
+		iref.SetAttr("item", fmt.Sprintf("item%d", g.rng.Intn(g.nItems)))
+		oa.Append(iref)
+		seller := tree.NewElement("seller")
+		seller.SetAttr("person", fmt.Sprintf("person%d", g.rng.Intn(g.nPersons)))
+		oa.Append(seller)
+		oa.Append(g.annotation())
+		oa.Append(g.pcdata("quantity", fmt.Sprintf("%d", 1+g.rng.Intn(5))))
+		oa.Append(g.pcdata("type", pick(g.rng, []string{"Regular", "Featured", "Dutch"})))
+		oa.Append(tree.NewElement("interval",
+			g.pcdata("start", g.date()),
+			g.pcdata("end", g.date()),
+		))
+		oas.Append(oa)
+	}
+	return oas
+}
+
+func (g *Generator) closedAuctions() *tree.Node {
+	cas := tree.NewElement("closed_auctions")
+	for i := 0; i < g.nClosed; i++ {
+		seller := tree.NewElement("seller")
+		seller.SetAttr("person", fmt.Sprintf("person%d", g.rng.Intn(g.nPersons)))
+		buyer := tree.NewElement("buyer")
+		buyer.SetAttr("person", fmt.Sprintf("person%d", g.rng.Intn(g.nPersons)))
+		iref := tree.NewElement("itemref")
+		iref.SetAttr("item", fmt.Sprintf("item%d", g.rng.Intn(g.nItems)))
+		ca := tree.NewElement("closed_auction",
+			seller, buyer, iref,
+			g.money("price"),
+			g.pcdata("date", g.date()),
+			g.pcdata("quantity", fmt.Sprintf("%d", 1+g.rng.Intn(5))),
+			g.pcdata("type", pick(g.rng, []string{"Regular", "Featured", "Dutch"})),
+		)
+		if g.rng.Intn(4) != 0 {
+			ca.Append(g.annotation())
+		}
+		cas.Append(ca)
+	}
+	return cas
+}
+
+func (g *Generator) annotation() *tree.Node {
+	author := tree.NewElement("author")
+	author.SetAttr("person", fmt.Sprintf("person%d", g.rng.Intn(g.nPersons)))
+	an := tree.NewElement("annotation", author)
+	if g.rng.Intn(4) != 0 {
+		an.Append(g.description())
+	}
+	an.Append(g.pcdata("happiness", fmt.Sprintf("%d", 1+g.rng.Intn(10))))
+	return an
+}
+
+// description is the size-dominating mixed-content subtree.
+func (g *Generator) description() *tree.Node {
+	d := tree.NewElement("description")
+	if g.rng.Intn(10) < 7 {
+		d.Append(g.textEl())
+	} else {
+		d.Append(g.parlist(0))
+	}
+	return d
+}
+
+func (g *Generator) parlist(depth int) *tree.Node {
+	pl := tree.NewElement("parlist")
+	for n := 1 + g.rng.Intn(3); n > 0; n-- {
+		li := tree.NewElement("listitem")
+		if depth < 2 && g.rng.Intn(5) == 0 {
+			li.Append(g.parlist(depth + 1))
+		} else {
+			li.Append(g.textEl())
+		}
+		pl.Append(li)
+	}
+	return pl
+}
+
+// textEl produces a mixed-content text element: sentences of word-list
+// prose interleaved with bold/keyword/emph wrappers.
+func (g *Generator) textEl() *tree.Node {
+	t := tree.NewElement("text")
+	pieces := 2 + g.rng.Intn(4)
+	for i := 0; i < pieces; i++ {
+		t.Append(tree.NewText(g.sentence(8 + g.rng.Intn(18))))
+		if g.rng.Intn(3) != 0 {
+			wrap := tree.NewElement(pick(g.rng, []string{"bold", "keyword", "emph"}))
+			wrap.Append(tree.NewText(g.sentence(1 + g.rng.Intn(3))))
+			t.Append(wrap)
+		}
+	}
+	return t
+}
+
+func (g *Generator) sentence(words int) string {
+	buf := make([]byte, 0, words*8)
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, g.word()...)
+	}
+	buf = append(buf, ' ')
+	return string(buf)
+}
+
+func (g *Generator) pcdata(tag, content string) *tree.Node {
+	return tree.NewElement(tag, tree.NewText(content))
+}
+
+func (g *Generator) nameEl() *tree.Node {
+	return g.pcdata("name", g.word()+" "+g.word())
+}
+
+func (g *Generator) money(tag string) *tree.Node {
+	return g.pcdata(tag, fmt.Sprintf("%d.%02d", g.rng.Intn(300), g.rng.Intn(100)))
+}
+
+func (g *Generator) date() string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+g.rng.Intn(12), 1+g.rng.Intn(28), 1998+g.rng.Intn(4))
+}
+
+func (g *Generator) time() string {
+	return fmt.Sprintf("%02d:%02d:%02d", g.rng.Intn(24), g.rng.Intn(60), g.rng.Intn(60))
+}
+
+func (g *Generator) word() string { return pick(g.rng, words) }
+
+func (g *Generator) personName() string {
+	return pick(g.rng, firstNames) + " " + pick(g.rng, lastNames)
+}
+
+func (g *Generator) email() string {
+	return pick(g.rng, lastNames) + "@" + g.word() + ".com"
+}
+
+func (g *Generator) country() string {
+	if g.rng.Intn(4) == 0 {
+		return "United States"
+	}
+	return pick(g.rng, countries)
+}
+
+func (g *Generator) payment() string {
+	opts := []string{"Creditcard", "Money order", "Personal Check", "Cash"}
+	n := 1 + g.rng.Intn(len(opts))
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += ", "
+		}
+		out += opts[(i+g.rng.Intn(len(opts)))%len(opts)]
+	}
+	return out
+}
+
+func pick(r *rand.Rand, xs []string) string { return xs[r.Intn(len(xs))] }
+
+// The word list echoes xmlgen's Shakespearean flavour.
+var words = []string{
+	"gold", "silver", "crown", "duke", "sword", "castle", "honest", "noble",
+	"promise", "kingdom", "forest", "river", "shadow", "winter", "summer",
+	"love", "fortune", "battle", "honour", "virtue", "treason", "mercy",
+	"grace", "sorrow", "wisdom", "folly", "journey", "garden", "tempest",
+	"whisper", "thunder", "silence", "memory", "promise", "breath", "flame",
+	"harbor", "voyage", "anchor", "compass", "lantern", "scroll", "quill",
+	"velvet", "marble", "copper", "ivory", "amber", "ember", "frost",
+	"meadow", "orchard", "valley", "summit", "hollow", "brook", "glade",
+	"falcon", "raven", "sparrow", "stallion", "serpent", "lion", "wolf",
+}
+
+var firstNames = []string{
+	"Ada", "Edgar", "Umit", "Ioana", "Carlo", "Kim", "Dario", "Giuseppe",
+	"Veronique", "Jerome", "Mehmet", "Sandra", "Pavel", "Lucia", "Marko",
+}
+
+var lastNames = []string{
+	"Benz", "Codd", "Astrahan", "Wong", "Selinger", "Gray", "Stone",
+	"Lorie", "Chamberlin", "Boyce", "Traiger", "Putzolu", "Blasgen",
+}
+
+var countries = []string{
+	"Italy", "France", "Germany", "Japan", "Brazil", "Kenya", "Australia",
+	"Canada", "Spain", "Norway", "Chile", "India", "Korea",
+}
+
+var educations = []string{
+	"High School", "College", "Graduate School", "Other",
+}

@@ -1,0 +1,68 @@
+package xpath
+
+import (
+	"testing"
+
+	"xmlproj/internal/tree"
+	"xmlproj/internal/xmark"
+)
+
+// Engine micro-benchmarks: per-axis and per-construct costs over a small
+// XMark document. These are the constants behind the Figure 4 numbers.
+
+func benchDoc(b *testing.B) *tree.Document {
+	b.Helper()
+	return xmark.NewGenerator(0.002, 1).Document()
+}
+
+func benchQuery(b *testing.B, src string) {
+	b.Helper()
+	doc := benchDoc(b)
+	e := MustParse(src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := NewEvaluator(doc)
+		if _, err := ev.Eval(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAxisChild(b *testing.B)      { benchQuery(b, "/site/people/person/name") }
+func BenchmarkAxisDescendant(b *testing.B) { benchQuery(b, "//keyword") }
+func BenchmarkAxisAncestor(b *testing.B)   { benchQuery(b, "//keyword/ancestor::description") }
+func BenchmarkAxisSibling(b *testing.B) {
+	benchQuery(b, "//bidder[following-sibling::bidder]")
+}
+func BenchmarkAxisFollowing(b *testing.B) {
+	benchQuery(b, "/site/regions/*/item[1]/following::name")
+}
+func BenchmarkPredicateValue(b *testing.B) {
+	benchQuery(b, `//person[address/country = "United States"]/name`)
+}
+func BenchmarkPredicatePositional(b *testing.B) {
+	benchQuery(b, "//open_auction/bidder[last()]")
+}
+func BenchmarkPredicateCount(b *testing.B) {
+	benchQuery(b, "//open_auction[count(bidder) > 2]")
+}
+func BenchmarkUnion(b *testing.B) {
+	benchQuery(b, "//person/name | //item/name")
+}
+
+func BenchmarkParse(b *testing.B) {
+	srcs := []string{
+		"/site/closed_auctions/closed_auction/annotation/description/text/keyword",
+		`//person[address and (phone or homepage) and (creditcard or profile)]/name`,
+		"count(//item[contains(description, 'gold')]) * 2 + 1",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, src := range srcs {
+			if _, err := Parse(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

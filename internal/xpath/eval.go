@@ -1,0 +1,592 @@
+package xpath
+
+import (
+	"fmt"
+	"math"
+
+	"xmlproj/internal/tree"
+)
+
+// Evaluator executes XPath expressions over a document. It is a classic
+// DOM-style main-memory engine: every axis step enumerates materialised
+// nodes, so its running time and allocation footprint scale with the
+// number of nodes reachable from the navigation — the quantity that
+// type-based projection shrinks.
+type Evaluator struct {
+	Doc *tree.Document
+	// Vars provides values for $variables (the XQuery evaluator binds
+	// FLWR variables here).
+	Vars map[string]Value
+	// Visited counts the nodes touched by axis enumeration; a
+	// deterministic work metric used by the benchmark harness alongside
+	// wall time.
+	Visited int64
+}
+
+// NewEvaluator returns an evaluator over doc.
+func NewEvaluator(doc *tree.Document) *Evaluator {
+	return &Evaluator{Doc: doc, Vars: map[string]Value{}}
+}
+
+type context struct {
+	node NodeRef
+	pos  int // proximity position, 1-based
+	size int // context size
+}
+
+// Eval evaluates an expression with the document root element as context
+// node.
+func (ev *Evaluator) Eval(e Expr) (Value, error) {
+	return ev.eval(e, context{node: ElemRef(ev.Doc.Root), pos: 1, size: 1})
+}
+
+// EvalWith evaluates an expression with the given context node.
+func (ev *Evaluator) EvalWith(e Expr, node NodeRef) (Value, error) {
+	return ev.eval(e, context{node: node, pos: 1, size: 1})
+}
+
+// Select evaluates an expression that must produce a node-set.
+func (ev *Evaluator) Select(e Expr) (NodeSet, error) {
+	v, err := ev.Eval(e)
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := v.(NodeSet)
+	if !ok {
+		return nil, fmt.Errorf("xpath: expression %s returned %T, not a node-set", e, v)
+	}
+	return ns, nil
+}
+
+func (ev *Evaluator) eval(e Expr, ctx context) (Value, error) {
+	switch x := e.(type) {
+	case Literal:
+		return x.S, nil
+	case Number:
+		return x.F, nil
+	case Var:
+		v, ok := ev.Vars[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("xpath: unbound variable $%s", x.Name)
+		}
+		return v, nil
+	case Neg:
+		v, err := ev.eval(x.E, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return -ToNumber(v), nil
+	case Call:
+		return ev.evalCall(x, ctx)
+	case Binary:
+		return ev.evalBinary(x, ctx)
+	case PathExpr:
+		return ev.evalPathExpr(x, ctx)
+	}
+	return nil, fmt.Errorf("xpath: cannot evaluate %T", e)
+}
+
+func (ev *Evaluator) evalBinary(b Binary, ctx context) (Value, error) {
+	switch b.Op {
+	case OpOr, OpAnd:
+		l, err := ev.eval(b.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		lb := ToBoolean(l)
+		if b.Op == OpOr && lb {
+			return true, nil
+		}
+		if b.Op == OpAnd && !lb {
+			return false, nil
+		}
+		r, err := ev.eval(b.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return ToBoolean(r), nil
+	case OpUnion:
+		l, err := ev.eval(b.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.eval(b.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		ln, ok1 := l.(NodeSet)
+		rn, ok2 := r.(NodeSet)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("xpath: union of non node-sets")
+		}
+		return append(append(NodeSet{}, ln...), rn...).SortDoc(), nil
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		l, err := ev.eval(b.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.eval(b.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		lf, rf := ToNumber(l), ToNumber(r)
+		switch b.Op {
+		case OpAdd:
+			return lf + rf, nil
+		case OpSub:
+			return lf - rf, nil
+		case OpMul:
+			return lf * rf, nil
+		case OpDiv:
+			return lf / rf, nil
+		default:
+			return math.Mod(lf, rf), nil
+		}
+	default: // comparisons
+		l, err := ev.eval(b.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.eval(b.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return compare(b.Op, l, r), nil
+	}
+}
+
+// compare implements the XPath 1.0 comparison semantics, including the
+// existential semantics over node-sets.
+func compare(op Op, l, r Value) bool {
+	ln, lIsNS := l.(NodeSet)
+	rn, rIsNS := r.(NodeSet)
+	switch {
+	case lIsNS && rIsNS:
+		for _, a := range ln {
+			for _, b := range rn {
+				if atomicCompare(op, a.StringValue(), b.StringValue()) {
+					return true
+				}
+			}
+		}
+		return false
+	case lIsNS:
+		if rb, ok := r.(bool); ok {
+			return boolCmp(op, ToBoolean(l), rb)
+		}
+		for _, a := range ln {
+			if compareAtomNS(op, a.StringValue(), r) {
+				return true
+			}
+		}
+		return false
+	case rIsNS:
+		if lb, ok := l.(bool); ok {
+			return boolCmp(op, lb, ToBoolean(r))
+		}
+		for _, b := range rn {
+			if compareAtomNS(flip(op), b.StringValue(), l) {
+				return true
+			}
+		}
+		return false
+	default:
+		if op == OpEq || op == OpNeq {
+			if _, ok := l.(bool); ok {
+				return boolCmp(op, ToBoolean(l), ToBoolean(r))
+			}
+			if _, ok := r.(bool); ok {
+				return boolCmp(op, ToBoolean(l), ToBoolean(r))
+			}
+			if _, ok := l.(float64); ok {
+				return numCmp(op, ToNumber(l), ToNumber(r))
+			}
+			if _, ok := r.(float64); ok {
+				return numCmp(op, ToNumber(l), ToNumber(r))
+			}
+			return strCmp(op, ToString(l), ToString(r))
+		}
+		return numCmp(op, ToNumber(l), ToNumber(r))
+	}
+}
+
+// compareAtomNS compares a node string-value (left side) to a non-node-set
+// value.
+func compareAtomNS(op Op, sv string, v Value) bool {
+	switch x := v.(type) {
+	case float64:
+		return numCmp(op, ToNumber(sv), x)
+	case string:
+		return atomicCompare(op, sv, x)
+	}
+	return false
+}
+
+// atomicCompare compares two strings under op: string equality for =/!=,
+// numeric comparison otherwise.
+func atomicCompare(op Op, a, b string) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNeq:
+		return a != b
+	default:
+		return numCmp(op, ToNumber(a), ToNumber(b))
+	}
+}
+
+func flip(op Op) Op {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return op
+}
+
+func boolCmp(op Op, a, b bool) bool {
+	if op == OpNeq {
+		return a != b
+	}
+	if op == OpEq {
+		return a == b
+	}
+	return numCmp(op, ToNumber(a), ToNumber(b))
+}
+
+func numCmp(op Op, a, b float64) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNeq:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}
+
+func strCmp(op Op, a, b string) bool {
+	if op == OpNeq {
+		return a != b
+	}
+	return a == b
+}
+
+func (ev *Evaluator) evalPathExpr(pe PathExpr, ctx context) (Value, error) {
+	var start NodeSet
+	if pe.Filter != nil {
+		v, err := ev.eval(pe.Filter, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(pe.FilterPreds) == 0 && len(pe.Path.Steps) == 0 {
+			return v, nil
+		}
+		ns, ok := v.(NodeSet)
+		if !ok {
+			return nil, fmt.Errorf("xpath: filter expression %s is not a node-set", pe.Filter)
+		}
+		for _, pred := range pe.FilterPreds {
+			ns, err = ev.filterPredicate(ns, pred, false)
+			if err != nil {
+				return nil, err
+			}
+		}
+		start = ns
+	} else if pe.Path.Absolute {
+		start = NodeSet{ElemRef(ev.Doc.Root)}
+		// An absolute path starts at the (virtual) document root, whose
+		// only element child is the root element: /site selects the root
+		// element itself when it has the right tag.
+		if len(pe.Path.Steps) > 0 {
+			return ev.evalAbsolute(pe.Path, ctx)
+		}
+		return start, nil
+	} else {
+		start = NodeSet{ctx.node}
+	}
+	return ev.evalSteps(pe.Path.Steps, start)
+}
+
+// evalAbsolute handles /step1/… where step1 applies to the virtual
+// document root.
+func (ev *Evaluator) evalAbsolute(p Path, ctx context) (Value, error) {
+	first := p.Steps[0]
+	var start NodeSet
+	root := ElemRef(ev.Doc.Root)
+	switch first.Axis {
+	case Child:
+		// The root element is the single child of the document node.
+		if matchTest(first.Test, root, Child) {
+			start = NodeSet{root}
+		}
+	case Descendant, DescendantOrSelf:
+		// descendant(-or-self) from the document node: the root element
+		// and everything below it.
+		cands := NodeSet{root}
+		cands = append(cands, ev.axisNodes(root, Descendant)...)
+		for _, c := range cands {
+			if matchTest(first.Test, c, first.Axis) {
+				start = append(start, c)
+			}
+		}
+	case Self:
+		// self::node() on the document node — approximate with the root
+		// element (the data model has no separate document node).
+		if matchTest(first.Test, root, Self) {
+			start = NodeSet{root}
+		}
+	default:
+		return NodeSet{}, nil
+	}
+	var err error
+	start, err = ev.applyPredicates(first, start)
+	if err != nil {
+		return nil, err
+	}
+	return ev.evalSteps(p.Steps[1:], start)
+}
+
+func (ev *Evaluator) evalSteps(steps []Step, start NodeSet) (Value, error) {
+	cur := start
+	for i := range steps {
+		st := &steps[i]
+		var out NodeSet
+		for _, cn := range cur {
+			cands := ev.axisNodes(cn, st.Axis)
+			matched := cands[:0]
+			for _, c := range cands {
+				if matchTest(st.Test, c, st.Axis) {
+					matched = append(matched, c)
+				}
+			}
+			filtered, err := ev.applyPredicatesOrdered(st.Preds, matched, st.Axis.Reverse())
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, filtered...)
+		}
+		cur = out.SortDoc()
+	}
+	return cur, nil
+}
+
+func (ev *Evaluator) applyPredicates(st Step, ns NodeSet) (NodeSet, error) {
+	return ev.applyPredicatesOrdered(st.Preds, ns, st.Axis.Reverse())
+}
+
+// applyPredicatesOrdered filters candidates (already in axis order for
+// forward axes, or in document order with reverse=true for reverse axes)
+// through each predicate in turn, maintaining proximity positions.
+func (ev *Evaluator) applyPredicatesOrdered(preds []Expr, ns NodeSet, reverse bool) (NodeSet, error) {
+	var err error
+	for _, pred := range preds {
+		ns, err = ev.filterPredicate(ns, pred, reverse)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ns, nil
+}
+
+func (ev *Evaluator) filterPredicate(ns NodeSet, pred Expr, reverse bool) (NodeSet, error) {
+	out := NodeSet{}
+	size := len(ns)
+	for i, r := range ns {
+		pos := i + 1
+		if reverse {
+			pos = size - i
+		}
+		v, err := ev.eval(pred, context{node: r, pos: pos, size: size})
+		if err != nil {
+			return nil, err
+		}
+		keep := false
+		if f, ok := v.(float64); ok {
+			keep = float64(pos) == f
+		} else {
+			keep = ToBoolean(v)
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// axisNodes enumerates the nodes on an axis from a context node, in axis
+// order (reverse axes yield reverse document order — filterPredicate
+// compensates via its reverse flag, which expects document order, so
+// reverse axes are returned in document order here and positions are
+// computed backwards).
+func (ev *Evaluator) axisNodes(r NodeRef, axis Axis) NodeSet {
+	var out NodeSet
+	add := func(n NodeRef) {
+		ev.Visited++
+		out = append(out, n)
+	}
+	if r.IsAttr() {
+		// From an attribute node only self/parent/ancestor(-or-self) are
+		// non-empty.
+		switch axis {
+		case Self:
+			add(r)
+		case AncestorOrSelf:
+			add(r)
+			for n := r.N; n != nil; n = n.Parent {
+				add(ElemRef(n))
+			}
+			out = out.SortDoc()
+		case Parent:
+			add(ElemRef(r.N))
+		case Ancestor:
+			for n := r.N; n != nil; n = n.Parent {
+				add(ElemRef(n))
+			}
+			out = out.SortDoc()
+		}
+		return out
+	}
+	n := r.N
+	switch axis {
+	case Self:
+		add(r)
+	case Child:
+		for _, c := range n.Children {
+			add(ElemRef(c))
+		}
+	case Descendant:
+		var walk func(*tree.Node)
+		walk = func(m *tree.Node) {
+			for _, c := range m.Children {
+				add(ElemRef(c))
+				walk(c)
+			}
+		}
+		walk(n)
+	case DescendantOrSelf:
+		add(r)
+		var walk func(*tree.Node)
+		walk = func(m *tree.Node) {
+			for _, c := range m.Children {
+				add(ElemRef(c))
+				walk(c)
+			}
+		}
+		walk(n)
+	case Parent:
+		if n.Parent != nil {
+			add(ElemRef(n.Parent))
+		}
+	case Ancestor:
+		for p := n.Parent; p != nil; p = p.Parent {
+			add(ElemRef(p))
+		}
+		out = out.SortDoc()
+	case AncestorOrSelf:
+		add(r)
+		for p := n.Parent; p != nil; p = p.Parent {
+			add(ElemRef(p))
+		}
+		out = out.SortDoc()
+	case FollowingSibling:
+		if n.Parent != nil {
+			sibs := n.Parent.Children
+			for i := n.Index + 1; i < len(sibs); i++ {
+				add(ElemRef(sibs[i]))
+			}
+		}
+	case PrecedingSibling:
+		if n.Parent != nil {
+			sibs := n.Parent.Children
+			for i := 0; i < n.Index; i++ {
+				add(ElemRef(sibs[i]))
+			}
+		}
+	case Following:
+		for cur := n; cur != nil; cur = cur.Parent {
+			if cur.Parent == nil {
+				break
+			}
+			sibs := cur.Parent.Children
+			for i := cur.Index + 1; i < len(sibs); i++ {
+				add(ElemRef(sibs[i]))
+				var walk func(*tree.Node)
+				walk = func(m *tree.Node) {
+					for _, c := range m.Children {
+						add(ElemRef(c))
+						walk(c)
+					}
+				}
+				walk(sibs[i])
+			}
+		}
+		out = out.SortDoc()
+	case Preceding:
+		// All nodes strictly before n in document order, excluding
+		// ancestors.
+		for cur := n; cur != nil; cur = cur.Parent {
+			if cur.Parent == nil {
+				break
+			}
+			sibs := cur.Parent.Children
+			for i := 0; i < cur.Index; i++ {
+				add(ElemRef(sibs[i]))
+				var walk func(*tree.Node)
+				walk = func(m *tree.Node) {
+					for _, c := range m.Children {
+						add(ElemRef(c))
+						walk(c)
+					}
+				}
+				walk(sibs[i])
+			}
+		}
+		out = out.SortDoc()
+	case Attribute:
+		for i := range n.Attrs {
+			add(NodeRef{N: n, AttrIdx: i})
+		}
+	}
+	return out
+}
+
+// matchTest applies a node test, honouring the principal node type of the
+// axis (attribute for the attribute axis, element otherwise).
+func matchTest(t NodeTest, r NodeRef, axis Axis) bool {
+	if r.IsAttr() {
+		switch t.Kind {
+		case TestNode:
+			return true
+		case TestStar:
+			return axis == Attribute
+		case TestName:
+			return axis == Attribute && r.N.Attrs[r.AttrIdx].Name == t.Name
+		}
+		return false
+	}
+	switch t.Kind {
+	case TestNode:
+		return true
+	case TestStar:
+		return r.N.Kind == tree.Element && axis != Attribute
+	case TestName:
+		return r.N.Kind == tree.Element && axis != Attribute && r.N.Tag == t.Name
+	case TestText:
+		return r.N.Kind == tree.Text
+	default: // comment(), processing-instruction(): not in the data model
+		return false
+	}
+}

@@ -1,0 +1,201 @@
+package xpathl
+
+import (
+	"testing"
+
+	"xmlproj/internal/xpath"
+)
+
+func step(a xpath.Axis, name string) SStep {
+	if name == "" {
+		return SStep{Axis: a, Test: xpath.NodeTestNode}
+	}
+	return SStep{Axis: a, Test: xpath.NameTest(name)}
+}
+
+func TestPathClone(t *testing.T) {
+	p := &Path{Absolute: true, Steps: []Step{{SStep: step(xpath.Child, "a")}}}
+	c := p.Clone()
+	c.Steps[0].SStep = step(xpath.Child, "b")
+	if p.Steps[0].Test.Name != "a" {
+		t.Fatal("Clone aliases steps")
+	}
+	if !c.Absolute {
+		t.Fatal("Clone lost Absolute")
+	}
+}
+
+func TestPathAppendStep(t *testing.T) {
+	p := &Path{Steps: []Step{{SStep: step(xpath.Child, "a")}}}
+	q := p.AppendStep(step(xpath.DescendantOrSelf, ""))
+	if q.String() != "child::a/descendant-or-self::node()" {
+		t.Fatalf("AppendStep = %s", q)
+	}
+	// Appending self::node() is the identity.
+	r := p.AppendStep(step(xpath.Self, ""))
+	if r.String() != "child::a" {
+		t.Fatalf("self append = %s", r)
+	}
+	if len(p.Steps) != 1 {
+		t.Fatal("AppendStep mutated the receiver")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	prefix := &Path{Absolute: true, Steps: []Step{{SStep: step(xpath.Self, "site")}}}
+	rel := &Path{Steps: []Step{
+		{SStep: step(xpath.Self, "")}, // dropped: identity step
+		{SStep: step(xpath.Child, "people")},
+	}}
+	got := Concat(prefix, rel)
+	if got.String() != "/self::site/child::people" {
+		t.Fatalf("Concat = %s", got)
+	}
+	// An absolute right side wins.
+	abs := &Path{Absolute: true, Steps: []Step{{SStep: step(xpath.Child, "x")}}}
+	if got := Concat(prefix, abs); got.String() != "/child::x" {
+		t.Fatalf("Concat abs = %s", got)
+	}
+	// A conditioned self step is NOT dropped (it filters).
+	condRel := &Path{Steps: []Step{{
+		SStep: step(xpath.Self, ""),
+		Cond:  &Cond{Disjuncts: []SimplePath{SelfNode()}},
+	}}}
+	if got := Concat(prefix, condRel); len(got.Steps) != 2 {
+		t.Fatalf("conditioned self dropped: %s", got)
+	}
+}
+
+func TestFromSimple(t *testing.T) {
+	sp := SimplePath{Absolute: true, Steps: []SStep{step(xpath.Child, "a")}}
+	p := FromSimple(sp)
+	if p.String() != "/child::a" {
+		t.Fatalf("FromSimple = %s", p)
+	}
+	if back, ok := p.Simple(); !ok || back.String() != sp.String() {
+		t.Fatalf("Simple round trip = %v %s", ok, back)
+	}
+}
+
+func TestMakeAbsolute(t *testing.T) {
+	cases := map[string]string{
+		"child::a/child::b":      "/self::a/child::b",
+		"descendant::a":          "/descendant-or-self::a",
+		"self::a":                "/self::a",
+		"parent::node()/self::a": "/parent::node()/self::a", // degenerate, unchanged shape
+	}
+	for src, want := range cases {
+		ps, err := FromQuery(xpath.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := MakeAbsolute(ps[0]).String(); got != want {
+			t.Errorf("MakeAbsolute(%s) = %s, want %s", src, got, want)
+		}
+	}
+	// Already-absolute paths are untouched.
+	ps, _ := FromQuery(xpath.MustParse("/a/b"))
+	if got := MakeAbsolute(ps[0]).String(); got != ps[0].String() {
+		t.Fatalf("MakeAbsolute changed an absolute path: %s", got)
+	}
+}
+
+func TestApproxNegationAndArithmetic(t *testing.T) {
+	// Unary minus and arithmetic are value contexts: paths get dos, plus
+	// the self::node() safety disjunct for the non-structural part.
+	ps := MustFromQuery(xpath.MustParse(`x[-a = 1]`))
+	cond := ps[0].Steps[0].Cond
+	var hasDos bool
+	for _, d := range cond.Disjuncts {
+		if d.String() == "child::a/descendant-or-self::node()" {
+			hasDos = true
+		}
+	}
+	if !hasDos {
+		t.Fatalf("negated operand lost its dos: %s", cond)
+	}
+	ps = MustFromQuery(xpath.MustParse(`x[a + b > 2]`))
+	cond = ps[0].Steps[0].Cond
+	var hasA, hasB bool
+	for _, d := range cond.Disjuncts {
+		switch d.String() {
+		case "child::a/descendant-or-self::node()":
+			hasA = true
+		case "child::b/descendant-or-self::node()":
+			hasB = true
+		}
+	}
+	if !hasA || !hasB || !cond.HasSelfNode() {
+		t.Fatalf("arithmetic condition wrong: %s", cond)
+	}
+}
+
+func TestApproxUnionInPredicate(t *testing.T) {
+	ps := MustFromQuery(xpath.MustParse(`x[a | b]`))
+	cond := ps[0].Steps[0].Cond
+	if len(cond.Disjuncts) != 2 {
+		t.Fatalf("union predicate = %s", cond)
+	}
+}
+
+func TestCondAddDedups(t *testing.T) {
+	c := &Cond{}
+	c.add(SelfNode())
+	c.add(SelfNode())
+	if len(c.Disjuncts) != 1 {
+		t.Fatalf("duplicate disjunct kept: %s", c)
+	}
+}
+
+func TestFuncArgAxisTable(t *testing.T) {
+	selfFns := []string{"count", "not", "empty", "exists", "position", "boolean"}
+	dosFns := []string{"string", "contains", "sum", "number", "normalize-space", "anything-unknown"}
+	for _, f := range selfFns {
+		if FuncArgAxis(f, 0).Axis != xpath.Self {
+			t.Errorf("F(%s) should be self", f)
+		}
+	}
+	for _, f := range dosFns {
+		if FuncArgAxis(f, 0).Axis != xpath.DescendantOrSelf {
+			t.Errorf("F(%s) should be descendant-or-self", f)
+		}
+	}
+}
+
+// Regression: a truthy constant disjunct makes the whole condition
+// non-restricting — [2 or P] is always true, so self::node() must be
+// present. Found by the random-DTD soundness fuzzer
+// (prune.TestFuzzSoundnessNonRecursiveDTDs, dtd seed 7).
+func TestApproxTruthyConstantDisjunct(t *testing.T) {
+	for _, src := range []string{
+		`x[2 or a/b]`,
+		`x[1 or following-sibling::y/node()]`,
+		`x["s" or a]`,
+	} {
+		ps := MustFromQuery(xpath.MustParse(src))
+		cond := ps[0].Steps[0].Cond
+		if !cond.HasSelfNode() {
+			t.Errorf("%s: truthy constant disjunct must neutralise restriction: %s", src, cond)
+		}
+	}
+	// A falsy constant disjunct can never satisfy the predicate: the other
+	// disjunct may still restrict.
+	ps := MustFromQuery(xpath.MustParse(`x[0 or a]`))
+	if cond := ps[0].Steps[0].Cond; cond.HasSelfNode() {
+		t.Errorf("falsy constant should not block restriction: %s", cond)
+	}
+	// …and value comparisons against constants still restrict (the §3.3
+	// Dante example shape).
+	ps = MustFromQuery(xpath.MustParse(`x[a = "v" or b]`))
+	if cond := ps[0].Steps[0].Cond; cond.HasSelfNode() {
+		t.Errorf("comparison operand must not produce self::node(): %s", cond)
+	}
+}
+
+func TestSimplePathPrefixEmpty(t *testing.T) {
+	// Prefixing self::node() with nothing yields self::node().
+	sp := SelfNode().Prefix(nil)
+	if !sp.IsSelfNode() {
+		t.Fatalf("Prefix(nil) = %s", sp)
+	}
+}

@@ -1,0 +1,285 @@
+// Package xpathl implements XPathℓ, the fragment of XPath the paper's
+// static analysis operates on (§3): paths of upward/downward steps whose
+// predicates are unnested disjunctions of simple paths.
+//
+// The package also implements the two sound approximations that map full
+// XPath into XPathℓ:
+//
+//   - §3.3: the path-extraction function P(Exp) turning an arbitrary
+//     predicate expression into a disjunction of simple paths, using the
+//     per-function table F(f, i);
+//   - §4.3: the rewriting of the sibling, preceding and following axes
+//     into parent/child/ancestor-or-self/descendant-or-self steps.
+package xpathl
+
+import (
+	"strings"
+
+	"xmlproj/internal/xpath"
+)
+
+// SStep is a simple step Axis::Test without predicate. Allowed axes:
+// child, descendant, parent, ancestor, self, descendant-or-self,
+// ancestor-or-self, attribute.
+type SStep struct {
+	Axis xpath.Axis
+	Test xpath.NodeTest
+}
+
+func (s SStep) String() string {
+	return s.Axis.String() + "::" + testString(s.Test)
+}
+
+func testString(t xpath.NodeTest) string {
+	// The paper writes node/text without parentheses; we keep the XPath
+	// form so rendered paths re-parse.
+	return t.String()
+}
+
+// SimplePath is a predicate-free path (SPath in the paper's grammar),
+// possibly absolute.
+type SimplePath struct {
+	Absolute bool
+	Steps    []SStep
+}
+
+func (p SimplePath) String() string {
+	var sb strings.Builder
+	if p.Absolute {
+		sb.WriteString("/")
+	}
+	for i, s := range p.Steps {
+		if i > 0 {
+			sb.WriteString("/")
+		}
+		sb.WriteString(s.String())
+	}
+	return sb.String()
+}
+
+// SelfNode is the always-true condition path self::node().
+func SelfNode() SimplePath {
+	return SimplePath{Steps: []SStep{{Axis: xpath.Self, Test: xpath.NodeTestNode}}}
+}
+
+// IsSelfNode reports whether the path is exactly self::node().
+func (p SimplePath) IsSelfNode() bool {
+	return !p.Absolute && len(p.Steps) == 1 &&
+		p.Steps[0].Axis == xpath.Self && p.Steps[0].Test.Kind == xpath.TestNode
+}
+
+// Append returns p extended with an extra step.
+func (p SimplePath) Append(s SStep) SimplePath {
+	steps := make([]SStep, 0, len(p.Steps)+1)
+	steps = append(steps, p.Steps...)
+	// self::node() is the identity step: appending or prefixing it is a
+	// no-op, and dropping it keeps extracted paths readable.
+	if s.Axis == xpath.Self && s.Test.Kind == xpath.TestNode && len(steps) > 0 {
+		return SimplePath{Absolute: p.Absolute, Steps: steps}
+	}
+	steps = append(steps, s)
+	return SimplePath{Absolute: p.Absolute, Steps: steps}
+}
+
+// Prefix returns prefix/p (prefix must be relative-compatible: if p is
+// absolute, p is returned unchanged, since absolute paths ignore context).
+func (p SimplePath) Prefix(prefix []SStep) SimplePath {
+	if p.Absolute {
+		return p
+	}
+	steps := make([]SStep, 0, len(prefix)+len(p.Steps))
+	steps = append(steps, prefix...)
+	for _, s := range p.Steps {
+		if s.Axis == xpath.Self && s.Test.Kind == xpath.TestNode && len(steps) > 0 {
+			continue
+		}
+		steps = append(steps, s)
+	}
+	if len(steps) == 0 {
+		return SelfNode()
+	}
+	return SimplePath{Steps: steps}
+}
+
+// Cond is an XPathℓ condition: a disjunction of simple paths.
+type Cond struct {
+	Disjuncts []SimplePath
+}
+
+func (c *Cond) String() string {
+	parts := make([]string, len(c.Disjuncts))
+	for i, p := range c.Disjuncts {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " or ")
+}
+
+// HasSelfNode reports whether one of the disjuncts is the always-true
+// self::node() (the marker for non-structural sub-conditions, §3.3).
+func (c *Cond) HasSelfNode() bool {
+	for _, p := range c.Disjuncts {
+		if p.IsSelfNode() {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts a disjunct, dropping duplicates.
+func (c *Cond) add(p SimplePath) {
+	s := p.String()
+	for _, q := range c.Disjuncts {
+		if q.String() == s {
+			return
+		}
+	}
+	c.Disjuncts = append(c.Disjuncts, p)
+}
+
+// Step is an XPathℓ step with an optional condition.
+type Step struct {
+	SStep
+	Cond *Cond
+}
+
+func (s Step) String() string {
+	base := s.SStep.String()
+	if s.Cond == nil {
+		return base
+	}
+	return base + "[" + s.Cond.String() + "]"
+}
+
+// Path is an XPathℓ path.
+type Path struct {
+	Absolute bool
+	Steps    []Step
+}
+
+func (p *Path) String() string {
+	var sb strings.Builder
+	if p.Absolute {
+		sb.WriteString("/")
+	}
+	for i, s := range p.Steps {
+		if i > 0 {
+			sb.WriteString("/")
+		}
+		sb.WriteString(s.String())
+	}
+	return sb.String()
+}
+
+// Clone returns a copy of the path sharing no mutable state (conditions
+// are shared: they are never mutated after construction).
+func (p *Path) Clone() *Path {
+	out := &Path{Absolute: p.Absolute}
+	out.Steps = append(out.Steps, p.Steps...)
+	return out
+}
+
+// AppendStep returns p extended with a trailing step; appending
+// self::node() is the identity.
+func (p *Path) AppendStep(s SStep) *Path {
+	if s.Axis == xpath.Self && s.Test.Kind == xpath.TestNode && len(p.Steps) > 0 {
+		return p.Clone()
+	}
+	out := p.Clone()
+	out.Steps = append(out.Steps, Step{SStep: s})
+	return out
+}
+
+// Concat returns prefix/rel. If rel is absolute it ignores the prefix
+// (absolute paths restart at the root).
+func Concat(prefix, rel *Path) *Path {
+	if rel.Absolute {
+		return rel.Clone()
+	}
+	out := prefix.Clone()
+	for _, s := range rel.Steps {
+		if s.Axis == xpath.Self && s.Test.Kind == xpath.TestNode && s.Cond == nil && len(out.Steps) > 0 {
+			continue
+		}
+		out.Steps = append(out.Steps, s)
+	}
+	return out
+}
+
+// Simple reports whether no step carries a condition, and returns the
+// path as a SimplePath if so.
+func (p *Path) Simple() (SimplePath, bool) {
+	sp := SimplePath{Absolute: p.Absolute}
+	for _, s := range p.Steps {
+		if s.Cond != nil {
+			return SimplePath{}, false
+		}
+		sp.Steps = append(sp.Steps, s.SStep)
+	}
+	return sp, true
+}
+
+// FromSimple wraps a SimplePath as a Path.
+func FromSimple(sp SimplePath) *Path {
+	p := &Path{Absolute: sp.Absolute}
+	for _, s := range sp.Steps {
+		p.Steps = append(p.Steps, Step{SStep: s})
+	}
+	return p
+}
+
+// ToXPath converts the XPathℓ path back into an equivalent full-XPath
+// AST, used to evaluate approximated queries in tests.
+func (p *Path) ToXPath() xpath.Expr {
+	out := xpath.Path{Absolute: p.Absolute}
+	for _, s := range p.Steps {
+		st := xpath.Step{Axis: s.Axis, Test: s.Test}
+		if s.Cond != nil {
+			var e xpath.Expr
+			for _, d := range s.Cond.Disjuncts {
+				de := simpleToXPath(d)
+				if e == nil {
+					e = de
+				} else {
+					e = xpath.Binary{Op: xpath.OpOr, L: e, R: de}
+				}
+			}
+			if e != nil {
+				st.Preds = []xpath.Expr{e}
+			}
+		}
+		out.Steps = append(out.Steps, st)
+	}
+	return xpath.PathExpr{Path: out}
+}
+
+func simpleToXPath(sp SimplePath) xpath.Expr {
+	out := xpath.Path{Absolute: sp.Absolute}
+	for _, s := range sp.Steps {
+		out.Steps = append(out.Steps, xpath.Step{Axis: s.Axis, Test: s.Test})
+	}
+	return xpath.PathExpr{Path: out}
+}
+
+// RewriteAxis translates one full-XPath step into the equivalent (or
+// soundly approximating) sequence of XPathℓ simple steps (§4.3). The node
+// test lands on the last returned step.
+func RewriteAxis(axis xpath.Axis, test xpath.NodeTest) []SStep {
+	nodeStep := func(a xpath.Axis) SStep { return SStep{Axis: a, Test: xpath.NodeTestNode} }
+	switch axis {
+	case xpath.FollowingSibling, xpath.PrecedingSibling:
+		// §4.3 second pass: Axis-sibling::Test ⇒ parent::node()/child::Test.
+		return []SStep{nodeStep(xpath.Parent), {Axis: xpath.Child, Test: test}}
+	case xpath.Following, xpath.Preceding:
+		// §4.3 first pass (W3C): ancestor-or-self::node()/
+		// (Axis-sibling)::node()/descendant-or-self::Test, then the second
+		// pass on the sibling step.
+		return []SStep{
+			nodeStep(xpath.AncestorOrSelf),
+			nodeStep(xpath.Parent),
+			nodeStep(xpath.Child),
+			{Axis: xpath.DescendantOrSelf, Test: test},
+		}
+	default:
+		return []SStep{{Axis: axis, Test: test}}
+	}
+}

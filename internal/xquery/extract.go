@@ -1,0 +1,432 @@
+package xquery
+
+import (
+	"xmlproj/internal/xpath"
+	"xmlproj/internal/xpathl"
+)
+
+// This file implements the Fig. 3 path-extraction function E(q, Γ, m) and
+// the §5 for/if rewriting heuristic. The extracted XPathℓ paths are the
+// query's data needs; their union projector (core.Infer) is a sound
+// projector for the whole query.
+
+// binding is one Γ entry (x; for P) or (x; let P).
+type binding struct {
+	isFor bool
+	path  *xpathl.Path
+}
+
+// env is Γ: each variable may be bound to several paths (one per path
+// extracted from its binding query).
+type env map[string][]binding
+
+func (e env) extend(name string, isFor bool, paths []*xpathl.Path) env {
+	out := make(env, len(e)+1)
+	for k, v := range e {
+		out[k] = v
+	}
+	var bs []binding
+	for _, p := range paths {
+		bs = append(bs, binding{isFor: isFor, path: p})
+	}
+	out[name] = bs
+	return out
+}
+
+// dosStep is the descendant-or-self::node() materialisation step.
+var dosStep = xpathl.SStep{Axis: xpath.DescendantOrSelf, Test: xpath.NodeTestNode}
+
+// Extract computes the data-need paths of a top-level query:
+// E(q, ∅, 1). Free variables are treated as bound to the document root.
+func Extract(q Query) []*xpathl.Path {
+	return dedupPaths(extract(q, env{}, 1))
+}
+
+// forPaths returns {P | (x; for P) ∈ Γ}.
+func forPaths(g env) []*xpathl.Path {
+	var out []*xpathl.Path
+	for _, bs := range g {
+		for _, b := range bs {
+			if b.isFor {
+				out = append(out, b.path)
+			}
+		}
+	}
+	return out
+}
+
+// allPaths returns {P | (x; − P) ∈ Γ}.
+func allPaths(g env) []*xpathl.Path {
+	var out []*xpathl.Path
+	for _, bs := range g {
+		for _, b := range bs {
+			out = append(out, b.path)
+		}
+	}
+	return out
+}
+
+func extract(q Query, g env, m int) []*xpathl.Path {
+	switch t := q.(type) {
+	case Empty, Text, nil:
+		return nil // lines 1; literal text has no data needs
+	case Sequence:
+		var out []*xpathl.Path
+		for _, it := range t.Items {
+			out = append(out, extract(it, g, m)...)
+		}
+		return out // line 4
+	case Element:
+		out := forPaths(g) // line 5
+		for _, a := range t.Attrs {
+			if a.Expr != nil {
+				out = append(out, extract(a.Expr, g, 1)...)
+			}
+		}
+		out = append(out, extract(t.Body, g, 1)...)
+		return out
+	case For:
+		inPaths := extract(t.In, g, 0) // line 16
+		g2 := g.extend(t.Var, true, inPaths)
+		return append(inPaths, extract(t.Return, g2, m)...)
+	case Let:
+		valPaths := extract(t.Val, g, 0) // line 17
+		g2 := g.extend(t.Var, false, valPaths)
+		return append(valPaths, extract(t.Return, g2, m)...)
+	case If:
+		// Line 15: condition with m=0, branches with m=1, plus every
+		// bound path.
+		out := extract(t.Cond, g, 0)
+		out = append(out, extract(t.Then, g, 1)...)
+		out = append(out, extract(t.Else, g, 1)...)
+		out = append(out, allPaths(g)...)
+		return out
+	case OrderBy:
+		var out []*xpathl.Path
+		for _, k := range t.Keys {
+			out = append(out, extractExpr(k, g, 1)...)
+		}
+		return append(out, extract(t.Body, g, m)...)
+	case Quantified:
+		inPaths := extract(t.In, g, 0)
+		g2 := g.extend(t.Var, true, inPaths)
+		return append(inPaths, extract(t.Sat, g2, 0)...)
+	case FuncQ:
+		// Line 14 lifted to sequence functions.
+		var out []*xpathl.Path
+		for i, a := range t.Args {
+			step := xpathl.FuncArgAxis(t.Name, i)
+			for _, p := range extract(a, g, 0) {
+				out = append(out, p.AppendStep(step))
+			}
+		}
+		return out
+	case Expr:
+		return extractExpr(t.E, g, m)
+	}
+	return nil
+}
+
+// extractExpr implements lines 2–3, 6–14 over embedded XPath expressions,
+// resolving variable-rooted paths through Γ.
+func extractExpr(e xpath.Expr, g env, m int) []*xpathl.Path {
+	switch t := e.(type) {
+	case xpath.Literal, xpath.Number:
+		if m == 1 {
+			return forPaths(g) // line 2
+		}
+		return nil // line 3
+	case xpath.Var:
+		var out []*xpathl.Path
+		for _, b := range g[t.Name] {
+			if m == 1 {
+				out = append(out, b.path.AppendStep(dosStep)) // line 6
+			} else {
+				out = append(out, b.path) // line 7
+			}
+		}
+		if len(out) == 0 && m == 1 {
+			// A free variable is assumed bound to the root.
+			out = append(out, rootDosPath())
+		}
+		return out
+	case xpath.Neg:
+		return extractExpr(t.E, g, 1)
+	case xpath.Binary:
+		switch t.Op {
+		case xpath.OpAnd, xpath.OpOr, xpath.OpUnion:
+			return append(extractExpr(t.L, g, m), extractExpr(t.R, g, m)...)
+		case xpath.OpEq, xpath.OpNeq, xpath.OpLt, xpath.OpLe, xpath.OpGt, xpath.OpGe:
+			// Value comparison: operand string-values are needed (the same
+			// strengthening as xpathl.ExtractCond; see its package note).
+			return append(extractExpr(t.L, g, 1), extractExpr(t.R, g, 1)...)
+		default: // arithmetic
+			return append(extractExpr(t.L, g, 1), extractExpr(t.R, g, 1)...)
+		}
+	case xpath.Call:
+		// Line 14: argument paths with F(f, i) appended.
+		var out []*xpathl.Path
+		for i, a := range t.Args {
+			step := xpathl.FuncArgAxis(t.Name, i)
+			for _, p := range extractExpr(a, g, 0) {
+				out = append(out, p.AppendStep(step))
+			}
+		}
+		return out
+	case xpath.PathExpr:
+		return extractPathExpr(t, g, m)
+	}
+	return nil
+}
+
+func rootDosPath() *xpathl.Path {
+	return &xpathl.Path{Absolute: true, Steps: []xpathl.Step{{SStep: dosStep}}}
+}
+
+// extractPathExpr handles lines 8–12: paths rooted at the document or at
+// a variable, with their predicates approximated into conditions.
+func extractPathExpr(pe xpath.PathExpr, g env, m int) []*xpathl.Path {
+	// Approximate the navigational part (predicates become conditions).
+	approxPath := func(abs bool) *xpathl.Path {
+		cp := pe
+		cp.Filter = nil
+		cp.FilterPreds = nil
+		cp.Path.Absolute = abs
+		ps, err := xpathl.FromQuery(cp)
+		if err != nil || len(ps) != 1 {
+			return &xpathl.Path{Absolute: abs}
+		}
+		return ps[0]
+	}
+	widen := func(p *xpathl.Path) *xpathl.Path {
+		if m == 1 {
+			return p.AppendStep(dosStep) // lines 8, 10
+		}
+		return p
+	}
+	if pe.Filter == nil {
+		// Lines 8–9: a document-rooted path (a relative top-level path is
+		// interpreted against the root, as the paper's /P form).
+		return []*xpathl.Path{widen(approxPath(true))}
+	}
+	v, ok := pe.Filter.(xpath.Var)
+	if !ok {
+		// A non-variable filter (rare; e.g. a parenthesised expression):
+		// conservatively take the filter's needs materialised.
+		return extractExpr(pe.Filter, g, 1)
+	}
+	// Line 10: x/Q — prefix every binding path of x.
+	rel := approxPath(false)
+	// Filter predicates $x[Exp] become a condition on a self step.
+	if len(pe.FilterPreds) > 0 {
+		cond := &xpathl.Cond{}
+		for _, pr := range pe.FilterPreds {
+			for _, sp := range xpathl.ExtractCond(pr) {
+				cond.Disjuncts = append(cond.Disjuncts, sp)
+			}
+		}
+		selfStep := xpathl.Step{
+			SStep: xpathl.SStep{Axis: xpath.Self, Test: xpath.NodeTestNode},
+			Cond:  cond,
+		}
+		rel = &xpathl.Path{Steps: append([]xpathl.Step{selfStep}, rel.Steps...)}
+	}
+	var out []*xpathl.Path
+	bs := g[v.Name]
+	if len(bs) == 0 {
+		// Free variable: treat as bound to the document node.
+		out = append(out, widen(xpathl.MakeAbsolute(rel)))
+		return out
+	}
+	for _, b := range bs {
+		out = append(out, widen(xpathl.Concat(b.path, rel)))
+	}
+	return out
+}
+
+func dedupPaths(paths []*xpathl.Path) []*xpathl.Path {
+	seen := map[string]bool{}
+	var out []*xpathl.Path
+	for _, p := range paths {
+		if p == nil || len(p.Steps) == 0 && !p.Absolute {
+			continue
+		}
+		k := p.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// RewriteForIf applies the §5 heuristic: a for over a path whose body is
+// `if C($x) then q else ()` — with C referring only to $x and using no
+// positional functions — becomes a for over the path filtered by
+// [C(self::node())]. The rewriting preserves semantics and lets the
+// extractor see the condition, restoring pruning that path-only analyses
+// lose.
+func RewriteForIf(q Query) Query {
+	switch t := q.(type) {
+	case Sequence:
+		items := make([]Query, len(t.Items))
+		for i, it := range t.Items {
+			items[i] = RewriteForIf(it)
+		}
+		return Sequence{Items: items}
+	case Element:
+		t.Body = RewriteForIf(t.Body)
+		return t
+	case Let:
+		t.Val = RewriteForIf(t.Val)
+		t.Return = RewriteForIf(t.Return)
+		return t
+	case If:
+		t.Cond = RewriteForIf(t.Cond)
+		t.Then = RewriteForIf(t.Then)
+		t.Else = RewriteForIf(t.Else)
+		return t
+	case OrderBy:
+		t.Body = RewriteForIf(t.Body)
+		return t
+	case FuncQ:
+		args := make([]Query, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = RewriteForIf(a)
+		}
+		return FuncQ{Name: t.Name, Args: args}
+	case Quantified:
+		t.In = RewriteForIf(t.In)
+		t.Sat = RewriteForIf(t.Sat)
+		return t
+	case For:
+		t.In = RewriteForIf(t.In)
+		t.Return = RewriteForIf(t.Return)
+		rewritten := tryPushCondition(t)
+		return rewritten
+	default:
+		return q
+	}
+}
+
+// tryPushCondition attempts the actual rewriting on one for-loop.
+func tryPushCondition(f For) Query {
+	iff, ok := f.Return.(If)
+	if !ok {
+		return f
+	}
+	if _, isEmpty := iff.Else.(Empty); !isEmpty {
+		return f
+	}
+	condExpr, ok := iff.Cond.(Expr)
+	if !ok {
+		return f
+	}
+	inExpr, ok := f.In.(Expr)
+	if !ok {
+		return f
+	}
+	inPath, ok := inExpr.E.(xpath.PathExpr)
+	if !ok || len(inPath.Path.Steps) == 0 {
+		return f
+	}
+	// The condition must depend only on the loop variable and must not use
+	// positional functions (their meaning changes inside a predicate).
+	free := map[string]bool{}
+	exprFreeVars(condExpr.E, free)
+	delete(free, f.Var)
+	if len(free) > 0 || usesPositional(condExpr.E) {
+		return f
+	}
+	cond, ok := substSelf(condExpr.E, f.Var)
+	if !ok {
+		return f
+	}
+	last := len(inPath.Path.Steps) - 1
+	step := inPath.Path.Steps[last]
+	step.Preds = append(append([]xpath.Expr{}, step.Preds...), cond)
+	newSteps := append(append([]xpath.Step{}, inPath.Path.Steps[:last]...), step)
+	inPath.Path = xpath.Path{Absolute: inPath.Path.Absolute, Steps: newSteps}
+	return For{Var: f.Var, In: Expr{E: inPath}, Return: iff.Then}
+}
+
+func usesPositional(e xpath.Expr) bool {
+	found := false
+	var walk func(xpath.Expr)
+	walk = func(e xpath.Expr) {
+		switch t := e.(type) {
+		case xpath.Call:
+			if t.Name == "position" || t.Name == "last" {
+				found = true
+			}
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case xpath.Binary:
+			walk(t.L)
+			walk(t.R)
+		case xpath.Neg:
+			walk(t.E)
+		case xpath.PathExpr:
+			if t.Filter != nil {
+				walk(t.Filter)
+			}
+			for _, p := range t.FilterPreds {
+				walk(p)
+			}
+			for _, st := range t.Path.Steps {
+				for _, p := range st.Preds {
+					walk(p)
+				}
+			}
+		}
+	}
+	walk(e)
+	return found
+}
+
+// substSelf replaces references to $v by the context node: $v/P becomes
+// P, a bare $v becomes self::node(). It reports failure for shapes it
+// cannot rewrite (e.g. $v inside a nested filter).
+func substSelf(e xpath.Expr, v string) (xpath.Expr, bool) {
+	switch t := e.(type) {
+	case xpath.Literal, xpath.Number:
+		return e, true
+	case xpath.Var:
+		if t.Name == v {
+			return xpath.PathExpr{Path: xpath.Path{Steps: []xpath.Step{{Axis: xpath.Self, Test: xpath.NodeTestNode}}}}, true
+		}
+		return e, true
+	case xpath.Neg:
+		inner, ok := substSelf(t.E, v)
+		return xpath.Neg{E: inner}, ok
+	case xpath.Binary:
+		l, ok1 := substSelf(t.L, v)
+		r, ok2 := substSelf(t.R, v)
+		return xpath.Binary{Op: t.Op, L: l, R: r}, ok1 && ok2
+	case xpath.Call:
+		args := make([]xpath.Expr, len(t.Args))
+		for i, a := range t.Args {
+			na, ok := substSelf(a, v)
+			if !ok {
+				return e, false
+			}
+			args[i] = na
+		}
+		return xpath.Call{Name: t.Name, Args: args}, true
+	case xpath.PathExpr:
+		if t.Filter == nil {
+			return e, true
+		}
+		fv, ok := t.Filter.(xpath.Var)
+		if !ok || fv.Name != v {
+			return e, false
+		}
+		if len(t.FilterPreds) > 0 {
+			return e, false
+		}
+		return xpath.PathExpr{Path: t.Path}, true
+	}
+	return e, false
+}

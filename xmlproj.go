@@ -1,0 +1,476 @@
+// Package xmlproj implements type-based XML projection (Benzaken,
+// Castagna, Colazzo, Nguyên — VLDB 2006): given a DTD and one or more
+// XPath 1.0 / XQuery-FLWR queries, it statically infers a *type
+// projector* — a set of DTD names — such that pruning every node whose
+// name is outside the projector does not change the queries' results.
+// Pruning is a single one-pass traversal with constant memory, so large
+// documents can be cut down to their query-relevant core before a
+// main-memory engine ever materialises them.
+//
+// Typical use:
+//
+//	d, _ := xmlproj.ParseDTDFile("auction.dtd", "site")
+//	q, _ := xmlproj.CompileXPath(`//person[profile/@income]/name`)
+//	p, _ := d.Infer(xmlproj.Materialized, q)
+//	p.PruneStream(out, in)     // stream the pruned document
+//
+// The package also ships the in-memory XPath/XQuery engine used by the
+// reproduction benchmarks (Evaluate), validation, and the XMark document
+// generator (under internal/, driven by cmd/xmarkgen).
+package xmlproj
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"xmlproj/internal/core"
+	"xmlproj/internal/dataguide"
+	"xmlproj/internal/dtd"
+	"xmlproj/internal/prune"
+	"xmlproj/internal/tree"
+	"xmlproj/internal/validate"
+	"xmlproj/internal/xpath"
+	"xmlproj/internal/xpathl"
+	"xmlproj/internal/xquery"
+	"xmlproj/internal/xsd"
+)
+
+// DTD is a parsed Document Type Definition, viewed as a local tree
+// grammar (§2.2 of the paper).
+type DTD struct {
+	d *dtd.DTD
+}
+
+// ParseDTD reads DTD declarations from r, expanding parameter entities
+// and conditional sections first (so real-world DTDs like XHTML parse).
+// rootTag names the document root element; if empty, the first declared
+// element is the root.
+func ParseDTD(r io.Reader, rootTag string) (*DTD, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseDTDString(string(src), rootTag)
+}
+
+// ParseDTDString is ParseDTD over a string.
+func ParseDTDString(src, rootTag string) (*DTD, error) {
+	d, err := dtd.ParseWithEntities(src, rootTag)
+	if err != nil {
+		return nil, err
+	}
+	return &DTD{d: d}, nil
+}
+
+// ParseXSD reads an XML Schema (a practical subset: sequence/choice/all,
+// occurrence bounds, attributes, mixed content, named and anonymous
+// complex types) and lowers it to a local tree grammar, per the paper's
+// footnote 1. Local elements whose types differ across contexts are
+// merged soundly.
+func ParseXSD(r io.Reader, rootTag string) (*DTD, error) {
+	d, err := xsd.Parse(r, rootTag)
+	if err != nil {
+		return nil, err
+	}
+	return &DTD{d: d}, nil
+}
+
+// ParseXSDString is ParseXSD over a string.
+func ParseXSDString(src, rootTag string) (*DTD, error) {
+	d, err := xsd.ParseString(src, rootTag)
+	if err != nil {
+		return nil, err
+	}
+	return &DTD{d: d}, nil
+}
+
+// ParseXSDFile is ParseXSD over a file.
+func ParseXSDFile(path, rootTag string) (*DTD, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseXSD(f, rootTag)
+}
+
+// InferDTD builds a dataguide — a structural summary in local-tree-grammar
+// form — from a document that has no schema (the paper's §7 extension).
+// The document is valid against the result by construction, so projectors
+// inferred from it are sound for pruning that document (and any document
+// with the same structural summary).
+func InferDTD(doc *Document) (*DTD, error) {
+	d, err := dataguide.FromDocument(doc.t)
+	if err != nil {
+		return nil, err
+	}
+	return &DTD{d: d}, nil
+}
+
+// ParseDTDFromDoc extracts and parses the internal DTD subset of a
+// document's <!DOCTYPE root [ … ]> declaration.
+func ParseDTDFromDoc(doc string) (*DTD, error) {
+	root, subset, ok := dtd.InternalSubset(doc)
+	if !ok {
+		return nil, fmt.Errorf("xmlproj: document has no internal DTD subset")
+	}
+	return ParseDTDString(subset, root)
+}
+
+// ParseDTDFile is ParseDTD over a file.
+func ParseDTDFile(path, rootTag string) (*DTD, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseDTD(f, rootTag)
+}
+
+// Root returns the root element tag.
+func (d *DTD) Root() string { return string(d.d.Root) }
+
+// IsStarGuarded, IsRecursive and IsParentUnambiguous report the Def. 4.3
+// grammar properties. On *-guarded, non-recursive, parent-unambiguous
+// DTDs the inferred projectors are not only sound but complete for
+// strongly-specified queries (Thms. 4.4, 4.7).
+func (d *DTD) IsStarGuarded() bool       { return d.d.IsStarGuarded() }
+func (d *DTD) IsRecursive() bool         { return d.d.IsRecursive() }
+func (d *DTD) IsParentUnambiguous() bool { return d.d.IsParentUnambiguous() }
+
+// Grammar renders the DTD in the paper's edge notation (for inspection).
+func (d *DTD) Grammar() string { return d.d.String() }
+
+// QueryKind discriminates compiled query languages.
+type QueryKind uint8
+
+const (
+	// XPathQuery is an XPath 1.0 expression.
+	XPathQuery QueryKind = iota
+	// XQueryQuery is a query in the FLWR core of XQuery.
+	XQueryQuery
+)
+
+// Query is a compiled query together with its XPathℓ data-need paths
+// (§3.3/§5), ready for projector inference.
+type Query struct {
+	Kind   QueryKind
+	source string
+	xp     xpath.Expr
+	xq     xquery.Query
+	paths  []*xpathl.Path
+}
+
+// CompileXPath parses an XPath 1.0 query and computes its XPathℓ
+// approximation.
+func CompileXPath(src string) (*Query, error) {
+	e, err := xpath.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := xpathl.FromQuery(e)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Kind: XPathQuery, source: src, xp: e, paths: paths}, nil
+}
+
+// CompileXQuery parses a FLWR-core XQuery query, applies the §5
+// rewriting heuristic, and extracts its data-need paths (Fig. 3).
+func CompileXQuery(src string) (*Query, error) {
+	q, err := xquery.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{
+		Kind:   XQueryQuery,
+		source: src,
+		xq:     q,
+		paths:  xquery.Extract(xquery.RewriteForIf(q)),
+	}, nil
+}
+
+// Compile parses src as XPath first and falls back to XQuery, so callers
+// can accept either language.
+func Compile(src string) (*Query, error) {
+	if q, err := CompileXPath(src); err == nil {
+		return q, nil
+	}
+	return CompileXQuery(src)
+}
+
+// Source returns the original query text.
+func (q *Query) Source() string { return q.source }
+
+// DataNeeds renders the extracted XPathℓ paths (one per line), mainly
+// for inspection and tests.
+func (q *Query) DataNeeds() string {
+	parts := make([]string, len(q.paths))
+	for i, p := range q.paths {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// StaticType returns the set of DTD names the query's results can have —
+// the τ of the paper's Fig. 1 type system, computed on the query's XPathℓ
+// approximation (Thm. 4.4: every result node's name is in the set).
+func (q *Query) StaticType(d *DTD) []string {
+	c := core.NewChecker(d.d)
+	names := dtd.NameSet{}
+	for _, p := range q.paths {
+		names.AddAll(c.Type(p))
+	}
+	out := make([]string, 0, names.Len())
+	for _, n := range names.Sorted() {
+		out = append(out, string(n))
+	}
+	return out
+}
+
+// CanMatch reports whether the query can return anything at all on
+// documents valid against d — the §4.1 emptiness diagnostic (property
+// (2)): on *-guarded non-recursive DTDs an empty static type means the
+// query is empty on every instance; a typo'd element name is caught
+// before any document is read.
+func (q *Query) CanMatch(d *DTD) bool {
+	return len(q.StaticType(d)) > 0
+}
+
+// Mode selects what the projector must preserve.
+type Mode uint8
+
+const (
+	// NodesOnly preserves the identity of the result node-set (the exact
+	// statement of Thm. 4.5); result subtrees may still be pruned.
+	NodesOnly Mode = iota
+	// Materialized additionally keeps the full subtree (and attributes)
+	// of every result node, so results can be serialised (the remark
+	// after Thm. 4.5). XQuery queries always use Materialized needs:
+	// their extraction already marks returned paths.
+	Materialized
+)
+
+// Projector is an inferred type projector π (Def. 2.6) for a DTD.
+type Projector struct {
+	d  *dtd.DTD
+	pr *core.Projector
+}
+
+// Infer computes the union projector for a bunch of queries (§5:
+// projectors are closed under union, so one pruned document serves all
+// the queries).
+func (d *DTD) Infer(mode Mode, queries ...*Query) (*Projector, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("xmlproj: no queries to infer from")
+	}
+	out := &core.Projector{D: d.d, Names: dtd.NewNameSet(d.d.Root)}
+	for _, q := range queries {
+		var pr *core.Projector
+		var err error
+		if mode == Materialized && q.Kind == XPathQuery {
+			pr, err = core.InferMaterialized(d.d, q.paths)
+		} else {
+			pr, err = core.Infer(d.d, q.paths)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlproj: %s: %w", q.source, err)
+		}
+		out.Union(pr)
+	}
+	return &Projector{d: d.d, pr: out}, nil
+}
+
+// Names returns the projector's names, sorted. Text names carry a
+// "#text" suffix and attribute names an "@attr" suffix.
+func (p *Projector) Names() []string {
+	ns := p.pr.Names.Sorted()
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = string(n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether the projector keeps the given name.
+func (p *Projector) Has(name string) bool { return p.pr.Has(dtd.Name(name)) }
+
+// KeepRatio returns the fraction of root-reachable names kept — a static
+// selectivity indicator.
+func (p *Projector) KeepRatio() float64 { return p.pr.KeepRatio() }
+
+func (p *Projector) String() string { return p.pr.String() }
+
+// MarshalText serialises the projector as newline-separated names, so an
+// inferred projector can be stored and reused (e.g. computed once by an
+// administrator, applied by loaders).
+func (p *Projector) MarshalText() ([]byte, error) {
+	return []byte(strings.Join(p.Names(), "\n")), nil
+}
+
+// LoadProjector rebuilds a projector for d from a MarshalText rendering.
+// Unknown names are rejected — a projector is only meaningful against the
+// DTD it was inferred for.
+func (d *DTD) LoadProjector(text []byte) (*Projector, error) {
+	names := dtd.NameSet{}
+	for _, f := range strings.Fields(string(text)) {
+		n := dtd.Name(f)
+		base := n
+		if i := strings.IndexAny(string(n), "#@"); i > 0 {
+			base = n[:i]
+		}
+		if d.d.Def(base) == nil {
+			return nil, fmt.Errorf("xmlproj: projector name %q not defined by this DTD", f)
+		}
+		names.Add(n)
+	}
+	names.Add(d.d.Root)
+	return &Projector{d: d.d, pr: &core.Projector{D: d.d, Names: names}}, nil
+}
+
+// Document is a parsed XML document.
+type Document struct {
+	t *tree.Document
+}
+
+// ParseXML reads an XML document.
+func ParseXML(r io.Reader) (*Document, error) {
+	t, err := tree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{t: t}, nil
+}
+
+// ParseXMLString is ParseXML over a string.
+func ParseXMLString(src string) (*Document, error) {
+	t, err := tree.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{t: t}, nil
+}
+
+// ParseXMLFile is ParseXML over a file.
+func ParseXMLFile(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseXML(f)
+}
+
+// XML serialises the document.
+func (doc *Document) XML() string { return doc.t.XML() }
+
+// WriteXML serialises the document to w.
+func (doc *Document) WriteXML(w io.Writer) error { return doc.t.WriteXML(w) }
+
+// IndentedXML serialises the document with indentation for human
+// consumption; mixed content stays on one line, so no significant
+// whitespace is introduced.
+func (doc *Document) IndentedXML() string { return doc.t.IndentedXML() }
+
+// Size returns the document's serialised size in bytes.
+func (doc *Document) Size() int64 { return doc.t.SerializedSize() }
+
+// NumNodes returns the number of element and text nodes.
+func (doc *Document) NumNodes() int { return doc.t.NumNodes() }
+
+// Validate checks the document against the DTD (Def. 2.4).
+func (d *DTD) Validate(doc *Document) error {
+	_, err := validate.Document(d.d, doc.t)
+	return err
+}
+
+// ApplyDefaults fills in the DTD's declared attribute defaults on every
+// element that omits them, as an XML processor does after validation. It
+// returns the number of attributes added.
+func (d *DTD) ApplyDefaults(doc *Document) int {
+	return validate.ApplyDefaults(d.d, doc.t)
+}
+
+// Prune computes the π-projection of an in-memory document (Def. 2.7).
+// The document must be valid w.r.t. the projector's DTD.
+func (p *Projector) Prune(doc *Document) *Document {
+	return &Document{t: prune.Tree(p.d, doc.t, p.pr.Names)}
+}
+
+// PruneStats reports what a streaming prune did.
+type PruneStats struct {
+	// ElementsIn and ElementsOut count element start tags read / elements
+	// written.
+	ElementsIn, ElementsOut int64
+	// TextIn and TextOut count non-whitespace text nodes read / written.
+	TextIn, TextOut int64
+	// BytesOut counts output bytes.
+	BytesOut int64
+	// MaxDepth is the deepest open-element stack seen; the pruner's
+	// memory is proportional to it, not to the document size.
+	MaxDepth int
+}
+
+// PruneStream prunes the document read from src to dst in a single
+// bufferless pass with constant memory (§6). Subtrees of pruned elements
+// are skipped without being materialised.
+func (p *Projector) PruneStream(dst io.Writer, src io.Reader) (PruneStats, error) {
+	return p.pruneStream(dst, src, false)
+}
+
+// PruneStreamValidating is PruneStream fused with DTD validation: the
+// kept part of the document is validated while it is pruned.
+func (p *Projector) PruneStreamValidating(dst io.Writer, src io.Reader) (PruneStats, error) {
+	return p.pruneStream(dst, src, true)
+}
+
+func (p *Projector) pruneStream(dst io.Writer, src io.Reader, validate bool) (PruneStats, error) {
+	st, err := prune.Stream(dst, src, p.d, p.pr.Names, prune.StreamOptions{Validate: validate})
+	return PruneStats{
+		ElementsIn:  st.ElementsIn,
+		ElementsOut: st.ElementsOut,
+		TextIn:      st.TextIn,
+		TextOut:     st.TextOut,
+		BytesOut:    st.BytesOut,
+		MaxDepth:    st.MaxDepth,
+	}, err
+}
+
+// Result is the outcome of evaluating a query.
+type Result struct {
+	// Count is the number of items (nodes or atomic values) returned.
+	Count int
+	// Serialized is the result rendered as text: node results serialised
+	// as XML, atomics printed, items separated by newlines.
+	Serialized string
+}
+
+// Evaluate runs the query on a document with the repository's in-memory
+// engine (the stand-in for Galax in the paper's experiments).
+func (q *Query) Evaluate(doc *Document) (Result, error) {
+	switch q.Kind {
+	case XPathQuery:
+		v, err := xpath.NewEvaluator(doc.t).Eval(q.xp)
+		if err != nil {
+			return Result{}, err
+		}
+		if ns, ok := v.(xpath.NodeSet); ok {
+			items := make(xquery.Seq, len(ns))
+			for i, r := range ns {
+				items[i] = r
+			}
+			return Result{Count: len(ns), Serialized: xquery.Serialize(items)}, nil
+		}
+		return Result{Count: 1, Serialized: xpath.ToString(v)}, nil
+	default:
+		s, err := xquery.NewEvaluator(doc.t).Eval(q.xq)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Count: len(s), Serialized: xquery.Serialize(s)}, nil
+	}
+}
