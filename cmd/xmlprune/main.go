@@ -1,6 +1,6 @@
-// Command xmlprune prunes an XML document for a set of queries: it
-// infers the type projector from the DTD and the queries' data needs,
-// then streams the document through the one-pass pruner.
+// Command xmlprune prunes XML documents for a set of queries: it infers
+// the type projector from the DTD and the queries' data needs, then
+// streams each document through the one-pass pruner.
 //
 // Usage:
 //
@@ -9,28 +9,35 @@
 //	         -in auction.xml -out pruned.xml
 //
 // Multiple -q flags build one union projector (§5: a single pruned
-// document serves the whole bunch). With -show the inferred projector is
-// printed instead of pruning; -validate fuses DTD validation with the
-// prune; -save-projector / -load-projector persist an inferred projector
-// so loaders can reuse it without re-running the analysis.
+// document serves the whole bunch). -in is repeatable and accepts glob
+// patterns; with more than one input document, -out names a directory
+// and the documents are pruned concurrently by -jobs workers (the
+// projector is inferred once and shared — it depends only on the schema
+// and the queries). With -show the inferred projector is printed instead
+// of pruning; -validate fuses DTD validation with the prune;
+// -save-projector / -load-projector persist an inferred projector so
+// loaders can reuse it without re-running the analysis.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"xmlproj"
 )
 
-type queryList []string
+type stringList []string
 
-func (q *queryList) String() string     { return fmt.Sprint(*q) }
-func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
+func (q *stringList) String() string     { return fmt.Sprint(*q) }
+func (q *stringList) Set(s string) error { *q = append(*q, s); return nil }
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
@@ -44,15 +51,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	dtdPath := fs.String("dtd", "", "DTD file, or an XML Schema if the name ends in .xsd (required)")
 	root := fs.String("root", "", "root element (default: first declared)")
-	in := fs.String("in", "", "input document (default stdin)")
-	out := fs.String("out", "", "output document (default stdout)")
+	out := fs.String("out", "", "output document, or output directory with multiple inputs (default stdout)")
 	show := fs.Bool("show", false, "print the inferred projector and exit")
 	saveProj := fs.String("save-projector", "", "also write the inferred projector to this file")
 	loadProj := fs.String("load-projector", "", "skip inference and load a projector previously saved with -save-projector")
 	validateFlag := fs.Bool("validate", false, "validate while pruning")
 	materialize := fs.Bool("materialize", true, "keep full subtrees of result nodes")
-	var queries queryList
+	jobs := fs.Int("jobs", 0, "concurrent pruning workers for multiple inputs (default GOMAXPROCS)")
+	keepGoing := fs.Bool("keep-going", false, "with multiple inputs, prune the rest after a document fails")
+	var queries, ins stringList
 	fs.Var(&queries, "q", "query (XPath or XQuery); repeatable")
+	fs.Var(&ins, "in", "input document or glob pattern; repeatable (default stdin)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,9 +75,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	inferred := *loadProj == ""
 	start := time.Now()
 	var p *xmlproj.Projector
-	if *loadProj != "" {
+	if !inferred {
 		text, err := os.ReadFile(*loadProj)
 		if err != nil {
 			return err
@@ -94,6 +104,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 	}
 	inferTime := time.Since(start)
+	// inferNote reports the analysis cost only when the analysis ran; a
+	// projector loaded from disk was not "inferred in 40µs".
+	inferNote := ""
+	if inferred {
+		inferNote = fmt.Sprintf("inferred in %s; ", inferTime)
+	}
 	if *saveProj != "" {
 		text, err := p.MarshalText()
 		if err != nil {
@@ -105,51 +121,225 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	if *show {
-		fmt.Fprintf(stdout, "projector (%d names, keep ratio %.1f%%, inferred in %s):\n",
-			len(p.Names()), 100*p.KeepRatio(), inferTime)
+		origin := fmt.Sprintf("inferred in %s", inferTime)
+		if !inferred {
+			origin = fmt.Sprintf("loaded from %s", *loadProj)
+		}
+		fmt.Fprintf(stdout, "projector (%d names, keep ratio %.1f%%, %s):\n",
+			len(p.Names()), 100*p.KeepRatio(), origin)
 		for _, n := range p.Names() {
 			fmt.Fprintln(stdout, " ", n)
 		}
 		return nil
 	}
 
-	src := stdin
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		src = f
-	}
-	dst := stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		dst = f
-	}
-	bw := bufio.NewWriterSize(dst, 1<<20)
-	start = time.Now()
-	var stats xmlproj.PruneStats
-	if *validateFlag {
-		stats, err = p.PruneStreamValidating(bw, bufio.NewReaderSize(src, 1<<20))
-	} else {
-		stats, err = p.PruneStream(bw, bufio.NewReaderSize(src, 1<<20))
-	}
+	inputs, err := expandInputs(ins)
 	if err != nil {
 		return err
 	}
-	if err := bw.Flush(); err != nil {
-		return err
+
+	// Build the batch: one job per input (or one stdin job). Inputs open
+	// lazily and outputs are created lazily and closed by the engine, so
+	// open file descriptors are bounded by the worker count, not by the
+	// batch size.
+	var batch []xmlproj.BatchJob
+	var sinks []*fileSink
+	var stdoutBuf *bufio.Writer
+
+	addFileJob := func(inPath, outPath string) {
+		var dst io.Writer
+		if outPath == "" {
+			stdoutBuf = bufio.NewWriterSize(stdout, 1<<20)
+			dst = stdoutBuf
+		} else {
+			sink := &fileSink{path: outPath, name: inPath}
+			sinks = append(sinks, sink)
+			dst = sink
+		}
+		batch = append(batch, xmlproj.BatchJob{Name: inPath, Src: &lazyFile{path: inPath}, Dst: dst})
 	}
-	fmt.Fprintf(stderr,
-		"xmlprune: inferred in %s; pruned in %s; elements %d -> %d; %d bytes out; depth %d\n",
-		inferTime, time.Since(start), stats.ElementsIn, stats.ElementsOut,
-		stats.BytesOut, stats.MaxDepth)
-	return nil
+
+	switch {
+	case len(inputs) == 0:
+		var dst io.Writer
+		if *out == "" {
+			stdoutBuf = bufio.NewWriterSize(stdout, 1<<20)
+			dst = stdoutBuf
+		} else {
+			sink := &fileSink{path: *out, name: "stdin"}
+			sinks = append(sinks, sink)
+			dst = sink
+		}
+		batch = append(batch, xmlproj.BatchJob{Name: "stdin", Src: bufio.NewReaderSize(stdin, 1<<20), Dst: dst})
+	case len(inputs) == 1 && !isDir(*out):
+		addFileJob(inputs[0], *out)
+	default:
+		if *out == "" {
+			return fmt.Errorf("multiple inputs need -out naming a directory")
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		seen := make(map[string]string)
+		for _, in := range inputs {
+			base := filepath.Base(in)
+			if prev, dup := seen[base]; dup {
+				return fmt.Errorf("inputs %s and %s would both write %s", prev, in, filepath.Join(*out, base))
+			}
+			seen[base] = in
+			addFileJob(in, filepath.Join(*out, base))
+		}
+	}
+
+	eng := xmlproj.NewEngine(xmlproj.EngineOptions{Workers: *jobs})
+	start = time.Now()
+	results, agg, batchErr := eng.PruneBatch(context.Background(), p, batch, xmlproj.BatchOptions{
+		Workers:  *jobs,
+		Validate: *validateFlag,
+		FailFast: !*keepGoing,
+	})
+	elapsed := time.Since(start)
+	// The engine closed the file sinks (reporting close errors per job);
+	// remove the output of every job that did not fully succeed, so a
+	// failed prune never leaves a partial document behind.
+	for _, sink := range sinks {
+		sink.removeIfFailed(results)
+	}
+	if stdoutBuf != nil {
+		if err := stdoutBuf.Flush(); err != nil && batchErr == nil {
+			batchErr = err
+		}
+	}
+	// Per-job error lines only make sense for batches; a single job's
+	// error is the returned error, and printing it here would show it
+	// twice.
+	if len(batch) > 1 {
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Fprintf(stderr, "xmlprune: %s: %v\n", r.Name, r.Err)
+			}
+		}
+	}
+	if len(batch) == 1 {
+		if batchErr == nil {
+			st := results[0].Stats
+			fmt.Fprintf(stderr,
+				"xmlprune: %spruned in %s; elements %d -> %d; %d bytes out; depth %d\n",
+				inferNote, elapsed, st.ElementsIn, st.ElementsOut, st.BytesOut, st.MaxDepth)
+		}
+	} else {
+		fmt.Fprintf(stderr,
+			"xmlprune: %spruned %d/%d documents in %s; elements %d -> %d; %d -> %d bytes; depth %d\n",
+			inferNote, agg.Pruned, len(batch), elapsed,
+			agg.ElementsIn, agg.ElementsOut, agg.BytesIn, agg.BytesOut, agg.MaxDepth)
+	}
+	return batchErr
+}
+
+// expandInputs glob-expands every -in value; a value without matches is
+// kept literally when it has no glob metacharacters (so a missing file
+// reports a useful open error) and rejected otherwise.
+func expandInputs(ins []string) ([]string, error) {
+	var out []string
+	for _, pat := range ins {
+		matches, err := filepath.Glob(pat)
+		if err != nil {
+			return nil, fmt.Errorf("bad -in pattern %q: %w", pat, err)
+		}
+		switch {
+		case len(matches) > 0:
+			sort.Strings(matches)
+			out = append(out, matches...)
+		case !strings.ContainsAny(pat, "*?["):
+			out = append(out, pat)
+		default:
+			return nil, fmt.Errorf("-in pattern %q matches nothing", pat)
+		}
+	}
+	return out, nil
+}
+
+func isDir(path string) bool {
+	if path == "" {
+		return false
+	}
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// lazyFile opens its file on first read and closes it at EOF or on
+// error, so a large batch never holds more inputs open than there are
+// workers actively reading.
+type lazyFile struct {
+	path string
+	f    *os.File
+	done bool
+}
+
+func (l *lazyFile) Read(p []byte) (int, error) {
+	if l.done {
+		return 0, io.EOF
+	}
+	if l.f == nil {
+		f, err := os.Open(l.path)
+		if err != nil {
+			l.done = true
+			return 0, err
+		}
+		l.f = f
+	}
+	n, err := l.f.Read(p)
+	if err != nil {
+		l.f.Close()
+		l.f = nil
+		l.done = true
+	}
+	return n, err
+}
+
+// fileSink creates its file on first write, reports the Close error (a
+// full disk often only fails at close), and can remove the file again if
+// the job it served did not fully succeed.
+type fileSink struct {
+	path    string
+	name    string // job name, for removeIfFailed
+	f       *os.File
+	created bool
+}
+
+func (s *fileSink) Write(p []byte) (int, error) {
+	if s.f == nil {
+		f, err := os.Create(s.path)
+		if err != nil {
+			return 0, err
+		}
+		s.f = f
+		s.created = true
+	}
+	return s.f.Write(p)
+}
+
+// Close is called by the engine when the job finishes.
+func (s *fileSink) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	f := s.f
+	s.f = nil
+	return f.Close()
+}
+
+// removeIfFailed deletes the created file when its job carries an error.
+func (s *fileSink) removeIfFailed(results []xmlproj.BatchResult) {
+	if !s.created {
+		return
+	}
+	for _, r := range results {
+		if r.Name == s.name && r.Err != nil {
+			os.Remove(s.path)
+			return
+		}
+	}
 }
 
 // parseSchema loads a DTD, or an XML Schema when the file has an .xsd

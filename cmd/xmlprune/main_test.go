@@ -91,6 +91,131 @@ func TestRunValidateRejectsInvalid(t *testing.T) {
 	}
 }
 
+// TestRunFailureLeavesNoPartialOutput: a prune failing mid-stream must
+// not leave a truncated output document behind.
+func TestRunFailureLeavesNoPartialOutput(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "bib.dtd", testDTD)
+	outPath := filepath.Join(dir, "pruned.xml")
+	// The document starts valid (so output is written) and then hits an
+	// undeclared element, failing the prune mid-stream.
+	bad := `<bib><book><title>Commedia</title></book><wrong></wrong></bib>`
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-dtd", dtdPath, "-q", "//book/title", "-out", outPath},
+		strings.NewReader(bad), &out, &errBuf)
+	if err == nil {
+		t.Fatal("failed prune reported success")
+	}
+	if _, serr := os.Stat(outPath); !os.IsNotExist(serr) {
+		t.Fatalf("partial output file left behind: %v", serr)
+	}
+}
+
+// TestRunLoadProjectorDoesNotClaimInference: with -load-projector the
+// analysis never ran, so the stats line must not say "inferred in".
+func TestRunLoadProjectorDoesNotClaimInference(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "bib.dtd", testDTD)
+	projPath := filepath.Join(dir, "pi.txt")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-dtd", dtdPath, "-q", "//book/title", "-save-projector", projPath},
+		strings.NewReader(testDoc), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "inferred in") {
+		t.Fatalf("inference run should report its time: %s", errBuf.String())
+	}
+	errBuf.Reset()
+	out.Reset()
+	if err := run([]string{"-dtd", dtdPath, "-load-projector", projPath},
+		strings.NewReader(testDoc), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(errBuf.String(), "inferred in") {
+		t.Fatalf("-load-projector claims an inference happened: %s", errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "pruned in") {
+		t.Fatalf("stats line missing: %s", errBuf.String())
+	}
+	// -show on a loaded projector reports its origin, not a bogus time.
+	errBuf.Reset()
+	out.Reset()
+	if err := run([]string{"-dtd", dtdPath, "-load-projector", projPath, "-show"},
+		strings.NewReader(""), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "inferred in") || !strings.Contains(out.String(), "loaded from") {
+		t.Fatalf("-show origin wrong: %s", out.String())
+	}
+}
+
+// TestRunManyInputs drives the batch path: repeatable -in, globs, -jobs,
+// and an output directory.
+func TestRunManyInputs(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "bib.dtd", testDTD)
+	for i := 0; i < 5; i++ {
+		doc := strings.Replace(testDoc, "Commedia", "Book"+string(rune('A'+i)), 1)
+		write(t, dir, "doc"+string(rune('a'+i))+".xml", doc)
+	}
+	outDir := filepath.Join(dir, "pruned")
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-dtd", dtdPath, "-q", "//book/title",
+		"-in", filepath.Join(dir, "doc*.xml"), "-jobs", "3", "-out", outDir},
+		strings.NewReader(""), &out, &errBuf)
+	if err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errBuf.String())
+	}
+	for i := 0; i < 5; i++ {
+		name := "doc" + string(rune('a'+i)) + ".xml"
+		data, rerr := os.ReadFile(filepath.Join(outDir, name))
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if want := "Book" + string(rune('A'+i)); !strings.Contains(string(data), want) {
+			t.Fatalf("%s: pruned output lost %s: %s", name, want, data)
+		}
+		if strings.Contains(string(data), "Dante") {
+			t.Fatalf("%s: authors not pruned: %s", name, data)
+		}
+	}
+	if !strings.Contains(errBuf.String(), "pruned 5/5 documents") {
+		t.Fatalf("batch summary missing: %s", errBuf.String())
+	}
+
+	// A failing document: fail-fast by default (non-zero exit, its
+	// output removed), -keep-going prunes the rest.
+	write(t, dir, "bad.xml", `<bib><oops/></bib>`)
+	outDir2 := filepath.Join(dir, "pruned2")
+	errBuf.Reset()
+	err = run([]string{"-dtd", dtdPath, "-q", "//book/title",
+		"-in", filepath.Join(dir, "bad.xml"), "-in", filepath.Join(dir, "doca.xml"),
+		"-jobs", "1", "-keep-going", "-out", outDir2},
+		strings.NewReader(""), &out, &errBuf)
+	if err == nil {
+		t.Fatal("batch with a bad document reported success")
+	}
+	if _, serr := os.Stat(filepath.Join(outDir2, "bad.xml")); !os.IsNotExist(serr) {
+		t.Fatal("failed job left a partial output")
+	}
+	if _, serr := os.Stat(filepath.Join(outDir2, "doca.xml")); serr != nil {
+		t.Fatalf("-keep-going did not prune the healthy document: %v", serr)
+	}
+
+	// Multiple inputs to stdout is rejected.
+	if err := run([]string{"-dtd", dtdPath, "-q", "//book/title",
+		"-in", filepath.Join(dir, "doca.xml"), "-in", filepath.Join(dir, "docb.xml")},
+		strings.NewReader(""), &out, &errBuf); err == nil {
+		t.Fatal("multiple inputs without -out accepted")
+	}
+	// A glob that matches nothing is rejected.
+	if err := run([]string{"-dtd", dtdPath, "-q", "//book/title",
+		"-in", filepath.Join(dir, "nothing*.xml"), "-out", outDir},
+		strings.NewReader(""), &out, &errBuf); err == nil {
+		t.Fatal("empty glob accepted")
+	}
+}
+
 func TestRunMissingArgs(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if err := run(nil, strings.NewReader(""), &out, &errBuf); err == nil {

@@ -1,0 +1,214 @@
+package xmlproj
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"xmlproj/internal/core"
+	"xmlproj/internal/engine"
+)
+
+// Engine is a concurrent projection engine for server-style workloads:
+// it caches inferred projectors in a bounded LRU keyed by (schema,
+// query bunch, mode) — with single-flight deduplication, so N
+// concurrent requests for the same workload pay for one inference —
+// and prunes batches of documents through a bounded worker pool.
+// Projector inference depends only on the schema and the queries
+// (§5: projectors are closed under union and can be computed once per
+// workload), which is exactly what makes the cache sound.
+//
+// An Engine is safe for concurrent use by any number of goroutines.
+type Engine struct {
+	e *engine.Engine
+}
+
+// EngineOptions configures NewEngine.
+type EngineOptions struct {
+	// CacheSize bounds the projector cache. Zero means a default (128);
+	// negative disables caching while keeping single-flight deduplication.
+	CacheSize int
+	// Workers is the default pool width for PruneBatch. Zero means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// NewEngine returns an engine with the given options.
+func NewEngine(opts EngineOptions) *Engine {
+	return &Engine{e: engine.New(engine.Options{CacheSize: opts.CacheSize, Workers: opts.Workers})}
+}
+
+// InferCached is Infer through the engine's projector cache: the first
+// request for a (schema, query bunch, mode) workload runs the static
+// analysis, concurrent duplicates wait for it, and later requests hit
+// the cache. The query bunch is canonicalised (sorted, deduplicated),
+// so the same set of queries in any order is one cache entry.
+func (eng *Engine) InferCached(d *DTD, mode Mode, queries ...*Query) (*Projector, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("xmlproj: no queries to infer from")
+	}
+	key := engine.Key{
+		Schema: d.fingerprint(),
+		Bunch:  bunchFingerprint(queries),
+		Mode:   uint8(mode),
+	}
+	pr, err := eng.e.InferCached(key, func() (*core.Projector, error) {
+		p, err := d.Infer(mode, queries...)
+		if err != nil {
+			return nil, err
+		}
+		return p.pr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Projector{d: d.d, pr: pr}, nil
+}
+
+// fingerprint renders the grammar — root, edges, content models and
+// attribute declarations (which dtd.String omits but inference uses) —
+// and hashes it, so structurally identical schemas share cache entries.
+func (d *DTD) fingerprint() string {
+	d.fpOnce.Do(func() {
+		var sb strings.Builder
+		sb.WriteString(d.d.String())
+		for _, n := range d.d.Names() {
+			def := d.d.Def(n)
+			for i := range def.Atts {
+				a := &def.Atts[i]
+				fmt.Fprintf(&sb, "att %s %s %q %v %q %v\n",
+					a.Name, a.Type, strings.Join(a.Enum, "|"), a.Required, a.Default, a.HasDefault)
+			}
+		}
+		d.fp = engine.Fingerprint(sb.String())
+	})
+	return d.fp
+}
+
+// bunchFingerprint canonicalises a query bunch: each query is tagged
+// with its language, the renderings are sorted and deduplicated.
+func bunchFingerprint(queries []*Query) string {
+	parts := make([]string, len(queries))
+	for i, q := range queries {
+		parts[i] = fmt.Sprintf("%d\x00%s", q.Kind, q.source)
+	}
+	sort.Strings(parts)
+	uniq := parts[:0]
+	for i, p := range parts {
+		if i == 0 || p != parts[i-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	return engine.Fingerprint(uniq...)
+}
+
+// BatchJob is one document for PruneBatch: a source stream and a
+// destination. If Dst implements io.Closer the engine closes it when
+// the job finishes, folding the close error into the job's error — so
+// "disk full at close" surfaces on the job, and at most Workers
+// destinations are open at a time.
+type BatchJob struct {
+	// Name labels the job in results (typically the input path).
+	Name string
+	Src  io.Reader
+	Dst  io.Writer
+}
+
+// BatchResult is the outcome of one batch job.
+type BatchResult struct {
+	Name string
+	// Stats covers what was pruned; on error, the prefix before the
+	// failure.
+	Stats PruneStats
+	// BytesIn counts bytes read from the source.
+	BytesIn int64
+	// Err is nil on success; jobs skipped after cancellation carry the
+	// context error.
+	Err error
+}
+
+// BatchOptions configures one PruneBatch call.
+type BatchOptions struct {
+	// Workers bounds the pool for this batch; zero uses the engine
+	// default.
+	Workers int
+	// Validate fuses DTD validation with each prune.
+	Validate bool
+	// FailFast cancels the remaining jobs after the first failure;
+	// otherwise the batch keeps going and reports every error.
+	FailFast bool
+}
+
+// BatchStats aggregates a batch: summed pruner stats (MaxDepth is the
+// maximum), total input bytes, and job outcomes.
+type BatchStats struct {
+	PruneStats
+	BytesIn                 int64
+	Pruned, Failed, Skipped int
+}
+
+// PruneBatch prunes every job against p through a bounded worker pool,
+// in one streaming pass per document. Results are in job order. The
+// batch stops early when ctx is cancelled or, with FailFast, on the
+// first failure. The returned error is nil only if every job succeeded.
+func (eng *Engine) PruneBatch(ctx context.Context, p *Projector, jobs []BatchJob, opts BatchOptions) ([]BatchResult, BatchStats, error) {
+	ejobs := make([]engine.Job, len(jobs))
+	for i, j := range jobs {
+		ejobs[i] = engine.Job{Name: j.Name, Src: j.Src, Dst: j.Dst}
+	}
+	res, agg, err := eng.e.PruneBatch(ctx, p.d, p.pr.Names, ejobs, engine.BatchOptions{
+		Workers:  opts.Workers,
+		Validate: opts.Validate,
+		FailFast: opts.FailFast,
+	})
+	out := make([]BatchResult, len(res))
+	for i, r := range res {
+		out[i] = BatchResult{Name: r.Name, Stats: pruneStatsOf(r.Stats), BytesIn: r.BytesIn, Err: r.Err}
+	}
+	return out, BatchStats{
+		PruneStats: pruneStatsOf(agg.Stats),
+		BytesIn:    agg.BytesIn,
+		Pruned:     agg.Pruned,
+		Failed:     agg.Failed,
+		Skipped:    agg.Skipped,
+	}, err
+}
+
+// EngineMetrics is a point-in-time snapshot of an engine's counters.
+type EngineMetrics struct {
+	// CacheHits counts InferCached calls answered from the cache,
+	// CacheMisses calls that ran inference, Coalesced calls that shared
+	// another caller's in-flight inference, Evictions LRU evictions, and
+	// CacheEntries the current cache population.
+	CacheHits, CacheMisses, Coalesced, Evictions int64
+	CacheEntries                                 int
+	// Inferences counts analyses actually executed; InferenceTime is
+	// their cumulative wall time.
+	Inferences    int64
+	InferenceTime time.Duration
+	// DocsPruned / PruneErrors count batch jobs by outcome; BytesIn /
+	// BytesOut total the document bytes streamed.
+	DocsPruned, PruneErrors int64
+	BytesIn, BytesOut       int64
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (eng *Engine) Metrics() EngineMetrics {
+	m := eng.e.Metrics()
+	return EngineMetrics{
+		CacheHits:     m.CacheHits,
+		CacheMisses:   m.CacheMisses,
+		Coalesced:     m.Coalesced,
+		Evictions:     m.Evictions,
+		CacheEntries:  m.CacheEntries,
+		Inferences:    m.Inferences,
+		InferenceTime: m.InferenceTime,
+		DocsPruned:    m.DocsPruned,
+		PruneErrors:   m.PruneErrors,
+		BytesIn:       m.BytesIn,
+		BytesOut:      m.BytesOut,
+	}
+}

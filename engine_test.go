@@ -1,0 +1,160 @@
+package xmlproj
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEngineInferCachedConcurrent: 8 concurrent InferCached calls for
+// the same query bunch perform exactly one inference, and a warm cache
+// answers a second burst without inferring at all.
+func TestEngineInferCachedConcurrent(t *testing.T) {
+	d, _ := apiSetup(t)
+	eng := NewEngine(EngineOptions{})
+	q1, err := CompileXPath("//book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := CompileXQuery("for $b in /bib/book return $b/author")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const N = 8
+	burst := func() {
+		var wg sync.WaitGroup
+		for i := 0; i < N; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p, err := eng.InferCached(d, Materialized, q1, q2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !p.Has("title") || !p.Has("author") {
+					t.Errorf("projector incomplete: %v", p.Names())
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	burst()
+	m := eng.Metrics()
+	if m.Inferences != 1 {
+		t.Fatalf("cold burst of %d ran %d inferences, want 1 (metrics %+v)", N, m.Inferences, m)
+	}
+	if m.CacheMisses != 1 || m.CacheHits+m.Coalesced != N-1 {
+		t.Fatalf("cold burst metrics: %+v", m)
+	}
+
+	burst() // warm
+	m = eng.Metrics()
+	if m.Inferences != 1 {
+		t.Fatalf("warm cache re-inferred: %+v", m)
+	}
+	if m.CacheHits < N {
+		t.Fatalf("warm burst not served from cache: %+v", m)
+	}
+
+	// The bunch is canonicalised: same queries, different order and a
+	// duplicate — still the same cache entry.
+	if _, err := eng.InferCached(d, Materialized, q2, q1, q2); err != nil {
+		t.Fatal(err)
+	}
+	if m = eng.Metrics(); m.Inferences != 1 {
+		t.Fatalf("permuted bunch missed the cache: %+v", m)
+	}
+	// A different mode is a different workload.
+	if _, err := eng.InferCached(d, NodesOnly, q1, q2); err != nil {
+		t.Fatal(err)
+	}
+	if m = eng.Metrics(); m.Inferences != 2 {
+		t.Fatalf("mode not part of the key: %+v", m)
+	}
+	if m.CacheEntries != 2 {
+		t.Fatalf("CacheEntries = %d, want 2", m.CacheEntries)
+	}
+}
+
+// TestEngineSchemaKeyedCache: structurally identical schemas share a
+// cache entry; a different schema does not.
+func TestEngineSchemaKeyedCache(t *testing.T) {
+	eng := NewEngine(EngineOptions{})
+	q, err := CompileXPath("//book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := apiSetup(t)
+	d2, err := ParseDTDString(apiDTD, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.InferCached(d1, Materialized, q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.InferCached(d2, Materialized, q); err != nil {
+		t.Fatal(err)
+	}
+	if m := eng.Metrics(); m.Inferences != 1 {
+		t.Fatalf("identical schema re-inferred: %+v", m)
+	}
+	d3, err := ParseDTDString(`<!ELEMENT bib (book*)><!ELEMENT book (title)><!ELEMENT title (#PCDATA)>`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.InferCached(d3, Materialized, q); err != nil {
+		t.Fatal(err)
+	}
+	if m := eng.Metrics(); m.Inferences != 2 {
+		t.Fatalf("different schema hit the cache: %+v", m)
+	}
+}
+
+// TestEnginePruneBatch drives the public batch API end to end.
+func TestEnginePruneBatch(t *testing.T) {
+	d, _ := apiSetup(t)
+	eng := NewEngine(EngineOptions{Workers: 3})
+	q, err := CompileXPath("//book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := eng.InferCached(d, Materialized, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 9
+	jobs := make([]BatchJob, n)
+	outs := make([]*bytes.Buffer, n)
+	for i := range jobs {
+		outs[i] = &bytes.Buffer{}
+		doc := fmt.Sprintf(`<bib><book isbn="%d"><title>T%d</title><author>A</author></book></bib>`, i, i)
+		jobs[i] = BatchJob{Name: fmt.Sprintf("doc%d", i), Src: strings.NewReader(doc), Dst: outs[i]}
+	}
+	results, agg, err := eng.PruneBatch(context.Background(), p, jobs, BatchOptions{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %s: %v", r.Name, r.Err)
+		}
+		if want := fmt.Sprintf("<title>T%d</title>", i); !strings.Contains(outs[i].String(), want) {
+			t.Fatalf("job %d output = %s", i, outs[i].String())
+		}
+	}
+	if agg.Pruned != n || agg.Failed != 0 || agg.Skipped != 0 {
+		t.Fatalf("aggregate: %+v", agg)
+	}
+	if agg.BytesIn == 0 || agg.BytesOut == 0 || agg.MaxDepth != 3 {
+		t.Fatalf("aggregate stats: %+v", agg)
+	}
+	if m := eng.Metrics(); m.DocsPruned != n || m.BytesIn != agg.BytesIn {
+		t.Fatalf("metrics: %+v", m)
+	}
+}

@@ -284,7 +284,10 @@ func RunBaseline(w *Workload, q QuerySpec) (BaselineComparison, error) {
 	if err != nil {
 		return out, err
 	}
-	out.TypeVisited = st.ElementsIn + st.TextIn
+	// Visited work = nodes the pruner surfaced on kept paths; the tokens
+	// scanned past inside discarded subtrees (now included in ElementsIn /
+	// TextIn) are cheap scanner work, not per-node pruning decisions.
+	out.TypeVisited = (st.ElementsIn - st.ElementsSkipped) + (st.TextIn - st.TextSkipped)
 
 	// The type projector above is materialised (for XPath queries), so
 	// hand the baseline the materialised needs too — otherwise it would

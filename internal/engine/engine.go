@@ -1,0 +1,186 @@
+// Package engine is the concurrent projection engine: a bounded LRU
+// cache of inferred projectors with single-flight deduplication, a
+// worker pool that prunes batches of documents through the §6 streaming
+// pruner, and counters exposing what the engine did.
+//
+// The design follows the journal version of the paper (Benzaken,
+// Castagna, Colazzo, Nguyên, arXiv:1104.2079): projectors are closed
+// under union and depend only on the schema and the query bunch, so a
+// server can infer one projector per workload and reuse it across every
+// document and every concurrent client. Inference is the only
+// non-trivial cost; pruning itself is a one-pass constant-memory scan
+// that parallelises trivially across documents.
+package engine
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"xmlproj/internal/core"
+)
+
+// Key identifies a cached projector: the schema fingerprint, the
+// canonical rendering of the query bunch, and the inference mode.
+// Projector inference is deterministic in these three inputs.
+type Key struct {
+	Schema string
+	Bunch  string
+	Mode   uint8
+}
+
+// DefaultCacheSize bounds the projector cache when Options.CacheSize is
+// zero. Projectors are small (a name set over the DTD), so the bound
+// exists to cap the number of distinct workloads retained, not memory.
+const DefaultCacheSize = 128
+
+// Options configures an Engine.
+type Options struct {
+	// CacheSize is the maximum number of cached projectors. Zero means
+	// DefaultCacheSize; negative disables caching (single-flight
+	// deduplication of concurrent identical requests still applies).
+	CacheSize int
+	// Workers is the default worker-pool width for PruneBatch when the
+	// batch options leave it unset. Zero means GOMAXPROCS.
+	Workers int
+}
+
+// Engine is safe for concurrent use by any number of goroutines.
+type Engine struct {
+	opts Options
+
+	mu     sync.Mutex
+	lru    *list.List // *entry, most recently used first
+	idx    map[Key]*list.Element
+	flight map[Key]*flightCall
+
+	m counters
+}
+
+type entry struct {
+	key Key
+	pr  *core.Projector
+}
+
+// flightCall is one in-flight inference; concurrent requests for the
+// same key block on done and share pr/err.
+type flightCall struct {
+	done chan struct{}
+	pr   *core.Projector
+	err  error
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	return &Engine{
+		opts:   opts,
+		lru:    list.New(),
+		idx:    make(map[Key]*list.Element),
+		flight: make(map[Key]*flightCall),
+	}
+}
+
+func (e *Engine) cacheCap() int {
+	switch {
+	case e.opts.CacheSize < 0:
+		return 0
+	case e.opts.CacheSize == 0:
+		return DefaultCacheSize
+	default:
+		return e.opts.CacheSize
+	}
+}
+
+func (e *Engine) workers() int {
+	if e.opts.Workers > 0 {
+		return e.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// InferCached returns the projector for key, computing it with infer on
+// a cache miss. Concurrent calls for the same key are deduplicated: one
+// caller runs infer, the rest block and share the result. Errors are
+// shared with the callers that were waiting but are not cached, so a
+// later request retries.
+func (e *Engine) InferCached(key Key, infer func() (*core.Projector, error)) (*core.Projector, error) {
+	e.mu.Lock()
+	if el, ok := e.idx[key]; ok {
+		e.lru.MoveToFront(el)
+		pr := el.Value.(*entry).pr
+		e.mu.Unlock()
+		e.m.hits.Add(1)
+		return pr, nil
+	}
+	if c, ok := e.flight[key]; ok {
+		e.mu.Unlock()
+		<-c.done
+		e.m.coalesced.Add(1)
+		return c.pr, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	e.flight[key] = c
+	e.mu.Unlock()
+
+	e.m.misses.Add(1)
+	start := time.Now()
+	c.pr, c.err = infer()
+	e.m.inferences.Add(1)
+	e.m.inferNanos.Add(time.Since(start).Nanoseconds())
+
+	e.mu.Lock()
+	delete(e.flight, key)
+	if c.err == nil {
+		e.insertLocked(key, c.pr)
+	}
+	e.mu.Unlock()
+	close(c.done)
+	return c.pr, c.err
+}
+
+// insertLocked adds key→pr to the LRU, evicting from the cold end.
+func (e *Engine) insertLocked(key Key, pr *core.Projector) {
+	cap := e.cacheCap()
+	if cap == 0 {
+		return
+	}
+	if el, ok := e.idx[key]; ok {
+		el.Value.(*entry).pr = pr
+		e.lru.MoveToFront(el)
+		return
+	}
+	e.idx[key] = e.lru.PushFront(&entry{key: key, pr: pr})
+	for e.lru.Len() > cap {
+		cold := e.lru.Back()
+		e.lru.Remove(cold)
+		delete(e.idx, cold.Value.(*entry).key)
+		e.m.evictions.Add(1)
+	}
+}
+
+// CacheLen returns the number of cached projectors.
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lru.Len()
+}
+
+// Fingerprint hashes the given parts into a compact stable hex key,
+// suitable for Key.Schema and Key.Bunch. Parts are length-delimited, so
+// distinct part lists never collide by concatenation.
+func Fingerprint(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		var n [8]byte
+		for i, l := 0, len(p); i < 8; i, l = i+1, l>>8 {
+			n[i] = byte(l)
+		}
+		h.Write(n[:])
+		io.WriteString(h, p)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"xmlproj/internal/dtd"
+	"xmlproj/internal/prune"
+)
+
+// Job is one document to prune: a source stream and a destination.
+// If Dst implements io.Closer it is closed when the job finishes and
+// the close error folds into the job's error — write-behind failures
+// like a full disk surface on the job, and a batch holds at most
+// Workers destinations open at a time.
+type Job struct {
+	// Name labels the job in results (typically the input path).
+	Name string
+	Src  io.Reader
+	Dst  io.Writer
+}
+
+// JobResult is the outcome of one batch job.
+type JobResult struct {
+	Name string
+	// Stats is the streaming pruner's report; on error it covers the
+	// prefix processed before the failure.
+	Stats prune.Stats
+	// BytesIn counts bytes read from the job's source.
+	BytesIn int64
+	// Err is nil on success. Jobs skipped after cancellation (fail-fast
+	// or a cancelled context) carry the context error.
+	Err error
+}
+
+// BatchOptions configures one PruneBatch call.
+type BatchOptions struct {
+	// Workers bounds the pool for this batch; zero uses the engine's
+	// default (Options.Workers, else GOMAXPROCS).
+	Workers int
+	// Validate fuses DTD validation with the prune.
+	Validate bool
+	// FailFast cancels the remaining jobs after the first failure.
+	// Otherwise the batch keeps going and reports every error.
+	FailFast bool
+}
+
+// BatchStats aggregates a batch.
+type BatchStats struct {
+	// Stats sums the per-job pruner stats; MaxDepth is the maximum.
+	prune.Stats
+	// BytesIn sums bytes read across jobs.
+	BytesIn int64
+	// Pruned and Failed count jobs by outcome; Skipped counts jobs never
+	// started because the batch was cancelled.
+	Pruned, Failed, Skipped int
+}
+
+// PruneBatch prunes every job against π through a bounded worker pool.
+// Results are returned in job order. The batch stops early when ctx is
+// cancelled or, with FailFast, on the first job error; the remaining
+// jobs are marked with the cancellation error. The returned error is
+// nil only if every job succeeded.
+func (e *Engine) PruneBatch(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, jobs []Job, opts BatchOptions) ([]JobResult, BatchStats, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = e.workers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results, BatchStats{}, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = e.runJob(ctx, d, pi, jobs[i], opts)
+				if results[i].Err != nil && opts.FailFast {
+					cancel()
+				}
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			// Mark every unfed job as skipped, releasing its destination.
+			for j := i; j < len(jobs); j++ {
+				results[j] = JobResult{Name: jobs[j].Name, Err: ctx.Err()}
+				closeDst(jobs[j].Dst)
+			}
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	var agg BatchStats
+	var firstErr error
+	for i := range results {
+		r := &results[i]
+		agg.ElementsIn += r.Stats.ElementsIn
+		agg.ElementsOut += r.Stats.ElementsOut
+		agg.TextIn += r.Stats.TextIn
+		agg.TextOut += r.Stats.TextOut
+		agg.ElementsSkipped += r.Stats.ElementsSkipped
+		agg.TextSkipped += r.Stats.TextSkipped
+		agg.BytesOut += r.Stats.BytesOut
+		if r.Stats.MaxDepth > agg.MaxDepth {
+			agg.MaxDepth = r.Stats.MaxDepth
+		}
+		agg.BytesIn += r.BytesIn
+		switch {
+		case r.Err == nil:
+			agg.Pruned++
+		case r.Err == context.Canceled || r.Err == context.DeadlineExceeded:
+			agg.Skipped++
+		default:
+			agg.Failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("engine: job %s: %w", r.Name, r.Err)
+			}
+		}
+	}
+	if firstErr == nil && ctx.Err() != nil && agg.Skipped > 0 {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil && agg.Failed+agg.Skipped > 1 {
+		firstErr = fmt.Errorf("%w (and %d more jobs failed or were skipped)", firstErr, agg.Failed+agg.Skipped-1)
+	}
+	return results, agg, firstErr
+}
+
+// runJob prunes one document, accounting bytes and metrics.
+func (e *Engine) runJob(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, job Job, opts BatchOptions) JobResult {
+	res := JobResult{Name: job.Name}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+	} else {
+		src := &countingReader{r: job.Src, ctx: ctx}
+		res.Stats, res.Err = prune.Stream(job.Dst, src, d, pi, prune.StreamOptions{Validate: opts.Validate})
+		res.BytesIn = src.n
+		// A prune aborted by cancellation reports the context error, not
+		// the wrapped read error, so callers can tell "skipped" from
+		// "bad input".
+		if res.Err != nil && ctx.Err() != nil {
+			res.Err = ctx.Err()
+		}
+	}
+	if cerr := closeDst(job.Dst); cerr != nil && res.Err == nil {
+		res.Err = cerr
+	}
+	e.m.bytesIn.Add(res.BytesIn)
+	e.m.bytesOut.Add(res.Stats.BytesOut)
+	switch {
+	case res.Err == nil:
+		e.m.docsPruned.Add(1)
+	case res.Err == context.Canceled || res.Err == context.DeadlineExceeded:
+		// Skipped, not failed; counted in neither bucket.
+	default:
+		e.m.pruneErrors.Add(1)
+	}
+	return res
+}
+
+// closeDst closes the job destination if it is a Closer, so write-behind
+// errors (a full disk at close) surface and file descriptors are bounded
+// by the pool width, not the batch size.
+func closeDst(dst io.Writer) error {
+	if c, ok := dst.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// countingReader counts bytes and aborts reads once ctx is cancelled, so
+// a fail-fast batch does not finish streaming multi-gigabyte inputs that
+// no longer matter.
+type countingReader struct {
+	r   io.Reader
+	ctx context.Context
+	n   int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -64,10 +64,23 @@ func pruneNode(d *dtd.DTD, n *tree.Node, pi dtd.NameSet, parent *tree.Node) *tre
 
 // Stats reports what a streaming prune did.
 type Stats struct {
-	// ElementsIn / ElementsOut count element nodes seen / written.
+	// ElementsIn / ElementsOut count element start tags read / elements
+	// written. ElementsIn includes the descendants of discarded subtrees:
+	// the pruner consumes their tokens (without materialising them) to
+	// find the matching end tag, so they are part of the input actually
+	// scanned.
 	ElementsIn, ElementsOut int64
-	// TextIn / TextOut count non-whitespace text nodes seen / written.
+	// TextIn / TextOut count non-whitespace logical text nodes read /
+	// written. Consecutive character-data chunks (entity boundaries, CDATA
+	// sections) are coalesced into one logical text node before counting,
+	// mirroring the tree data model. TextIn includes text inside discarded
+	// subtrees.
 	TextIn, TextOut int64
+	// ElementsSkipped / TextSkipped count the elements and logical text
+	// nodes inside discarded subtrees (a subset of ElementsIn / TextIn;
+	// the discarded subtree's root element is not included — it was
+	// surfaced, and counted, before being discarded).
+	ElementsSkipped, TextSkipped int64
 	// BytesOut counts bytes written to the destination.
 	BytesOut int64
 	// MaxDepth is the deepest open-element stack observed — the streaming
@@ -108,6 +121,36 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 		}
 	}
 
+	// text accumulates the current logical text node: consecutive
+	// character-data chunks (split by the decoder at entity and CDATA
+	// boundaries) coalesced, with whitespace-only chunks dropped, exactly
+	// as the tree parser merges them. The run is counted, validated and
+	// written once, when the next tag ends it.
+	var text strings.Builder
+	flushText := func() error {
+		if text.Len() == 0 {
+			return nil
+		}
+		s := text.String()
+		text.Reset()
+		stats.TextIn++
+		top := &stack[len(stack)-1]
+		tn := dtd.TextName(top.name)
+		if opts.Validate {
+			next := top.def.Automaton().Next(top.state, tn)
+			if next < 0 {
+				return fmt.Errorf("prune: text content not allowed in %s", top.name)
+			}
+			top.state = next
+		}
+		if pi.Has(tn) {
+			closeOpen()
+			bw.WriteString(tree.EscapeText(s))
+			stats.TextOut++
+		}
+		return nil
+	}
+
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -118,6 +161,9 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			if err := flushText(); err != nil {
+				return stats, err
+			}
 			stats.ElementsIn++
 			sawRoot = true
 			tag := t.Name.Local
@@ -136,12 +182,12 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 				}
 			}
 			if !pi.Has(name) {
-				// One call, constant memory: the decoder discards the whole
-				// subtree without materialising it. The skipped subtree
-				// still counts as validated only shallowly; the paper's
-				// pruner behaves the same way (discarded data is not
-				// needed, hence not checked deeply).
-				if err := dec.Skip(); err != nil {
+				// Constant memory: the decoder discards the whole subtree
+				// without materialising it, counting what it scans past.
+				// The skipped subtree still counts as validated only
+				// shallowly; the paper's pruner behaves the same way
+				// (discarded data is not needed, hence not checked deeply).
+				if err := skipSubtree(dec, &stats); err != nil {
 					return stats, fmt.Errorf("prune: %w", err)
 				}
 				continue
@@ -159,6 +205,9 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 		case xml.EndElement:
 			if len(stack) == 0 {
 				return stats, fmt.Errorf("prune: unbalanced end element %s", t.Name.Local)
+			}
+			if err := flushText(); err != nil {
+				return stats, err
 			}
 			top := stack[len(stack)-1]
 			if opts.Validate && !top.def.Automaton().Accepting(top.state) {
@@ -182,24 +231,12 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 			if strings.TrimSpace(s) == "" {
 				continue
 			}
-			stats.TextIn++
-			top := &stack[len(stack)-1]
-			tn := dtd.TextName(top.name)
-			if opts.Validate {
-				next := top.def.Automaton().Next(top.state, tn)
-				if next < 0 {
-					return stats, fmt.Errorf("prune: text content not allowed in %s", top.name)
-				}
-				top.state = next
-			}
-			if pi.Has(tn) {
-				closeOpen()
-				bw.WriteString(tree.EscapeText(s))
-				stats.TextOut++
-			}
+			text.WriteString(s)
 		case xml.Comment, xml.ProcInst, xml.Directive:
 			// Outside the data model; dropped (the paper's pruner keeps
-			// only elements, attributes and text).
+			// only elements, attributes and text). The surrounding
+			// character data stays one logical text node, as in the tree
+			// parser, so the run is not flushed here.
 		}
 	}
 	if len(stack) != 0 {
@@ -212,6 +249,45 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 		return stats, fmt.Errorf("prune: %w", err)
 	}
 	return stats, nil
+}
+
+// skipSubtree consumes the remainder of the current element — the
+// equivalent of xml.Decoder.Skip — while counting the elements and
+// logical text nodes scanned past, so Stats reflects the whole input.
+// Nothing is materialised; memory stays constant.
+func skipSubtree(dec *xml.Decoder, stats *Stats) error {
+	depth := 1
+	// pending is true while a non-whitespace text run is open; runs merge
+	// across comments and PIs, matching the main loop and the tree parser.
+	pending := false
+	flush := func() {
+		if pending {
+			stats.TextIn++
+			stats.TextSkipped++
+			pending = false
+		}
+	}
+	for depth > 0 {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			flush()
+			stats.ElementsIn++
+			stats.ElementsSkipped++
+			depth++
+		case xml.EndElement:
+			flush()
+			depth--
+		case xml.CharData:
+			if strings.TrimSpace(string(t)) != "" {
+				pending = true
+			}
+		}
+	}
+	return nil
 }
 
 func writeStart(bw *bufio.Writer, tag string, attrs []xml.Attr, def *dtd.Def, pi dtd.NameSet, opts StreamOptions) error {

@@ -124,14 +124,82 @@ func TestStreamStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.ElementsIn != 8 { // every start tag the scanner surfaces (skipped subtrees are consumed internally)
+	if stats.ElementsIn != 8 { // every start tag in the input, skipped subtrees included
 		t.Errorf("ElementsIn = %d", stats.ElementsIn)
 	}
 	if stats.ElementsOut != 5 { // bib, 2 books, 2 titles
 		t.Errorf("ElementsOut = %d", stats.ElementsOut)
 	}
+	if stats.TextIn != 5 { // 2 titles + 3 texts inside pruned author/year subtrees
+		t.Errorf("TextIn = %d", stats.TextIn)
+	}
+	if stats.ElementsSkipped != 0 || stats.TextSkipped != 3 {
+		t.Errorf("skipped counts = %d elements, %d texts", stats.ElementsSkipped, stats.TextSkipped)
+	}
 	if stats.TextOut != 2 || stats.BytesOut == 0 || stats.MaxDepth != 3 {
 		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestStreamCoalescesCharData: character data split by the decoder at
+// CDATA and entity boundaries is one logical text node — it must be
+// counted once, validated once, and survive a validating round trip.
+func TestStreamCoalescesCharData(t *testing.T) {
+	d, err := dtd.ParseString(`<!ELEMENT a (#PCDATA)>`, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := dtd.NewNameSet("a", dtd.TextName("a"))
+	out, stats, err := StreamString(`<a>foo<![CDATA[ & bar ]]>baz</a>`, d, pi, StreamOptions{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TextIn != 1 || stats.TextOut != 1 {
+		t.Errorf("TextIn = %d, TextOut = %d; want 1, 1 (one logical text node)", stats.TextIn, stats.TextOut)
+	}
+	if want := `<a>foo &amp; bar baz</a>`; out != want {
+		t.Errorf("output = %s, want %s", out, want)
+	}
+	// A comment does not break the run either (the tree parser merges
+	// text across comments).
+	out, stats, err = StreamString(`<a>foo<!--c-->bar</a>`, d, pi, StreamOptions{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TextIn != 1 || out != `<a>foobar</a>` {
+		t.Errorf("TextIn = %d, output = %s", stats.TextIn, out)
+	}
+}
+
+// TestStreamCountsSkippedSubtrees: descendants of a discarded subtree are
+// scanned past by the pruner and must show up in ElementsIn / TextIn.
+func TestStreamCountsSkippedSubtrees(t *testing.T) {
+	d, err := dtd.ParseString(`
+<!ELEMENT r (keep?, drop?)>
+<!ELEMENT keep (#PCDATA)>
+<!ELEMENT drop (leaf, leaf)>
+<!ELEMENT leaf (#PCDATA)>
+`, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := dtd.NewNameSet("r", "keep", dtd.TextName("keep"))
+	doc := `<r><keep>k</keep><drop><leaf>a<![CDATA[b]]></leaf><leaf> </leaf></drop></r>`
+	out, stats, err := StreamString(doc, d, pi, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != `<r><keep>k</keep></r>` {
+		t.Errorf("output = %s", out)
+	}
+	if stats.ElementsIn != 5 { // r, keep, drop, leaf, leaf
+		t.Errorf("ElementsIn = %d, want 5", stats.ElementsIn)
+	}
+	if stats.ElementsSkipped != 2 { // the two leaves under drop
+		t.Errorf("ElementsSkipped = %d, want 2", stats.ElementsSkipped)
+	}
+	if stats.TextIn != 2 || stats.TextSkipped != 1 { // "k" and coalesced "ab"; whitespace-only leaf text is not a text node
+		t.Errorf("TextIn = %d, TextSkipped = %d", stats.TextIn, stats.TextSkipped)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"xmlproj/internal/core"
 	"xmlproj/internal/dataguide"
@@ -42,6 +43,10 @@ import (
 // grammar (§2.2 of the paper).
 type DTD struct {
 	d *dtd.DTD
+
+	// fp caches the schema fingerprint used as an Engine cache key.
+	fpOnce sync.Once
+	fp     string
 }
 
 // ParseDTD reads DTD declarations from r, expanding parameter entities
@@ -194,12 +199,36 @@ func CompileXQuery(src string) (*Query, error) {
 }
 
 // Compile parses src as XPath first and falls back to XQuery, so callers
-// can accept either language.
+// can accept either language. When both parses fail, the XPath diagnostic
+// is reported if the source starts like a path expression (the XQuery
+// fallback would otherwise shadow it with a less useful error); in the
+// ambiguous case both diagnostics are combined.
 func Compile(src string) (*Query, error) {
-	if q, err := CompileXPath(src); err == nil {
+	q, xpErr := CompileXPath(src)
+	if xpErr == nil {
 		return q, nil
 	}
-	return CompileXQuery(src)
+	q, xqErr := CompileXQuery(src)
+	if xqErr == nil {
+		return q, nil
+	}
+	if startsLikePath(src) {
+		return nil, xpErr
+	}
+	return nil, fmt.Errorf("xmlproj: query is neither XPath (%v) nor XQuery (%v)", xpErr, xqErr)
+}
+
+// startsLikePath reports whether src begins the way a location path does —
+// an axis, an abbreviated step, or a name step — rather than a FLWR
+// keyword, so Compile can pick the more useful diagnostic.
+func startsLikePath(src string) bool {
+	s := strings.TrimSpace(src)
+	for _, p := range []string{"/", ".", "@", "*", "(", "child::", "descendant::", "attribute::", "self::", "parent::", "ancestor::"} {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // Source returns the original query text.
@@ -404,10 +433,16 @@ func (p *Projector) Prune(doc *Document) *Document {
 // PruneStats reports what a streaming prune did.
 type PruneStats struct {
 	// ElementsIn and ElementsOut count element start tags read / elements
-	// written.
+	// written. ElementsIn includes descendants of pruned subtrees (they
+	// are scanned past, not materialised).
 	ElementsIn, ElementsOut int64
-	// TextIn and TextOut count non-whitespace text nodes read / written.
+	// TextIn and TextOut count non-whitespace logical text nodes read /
+	// written; consecutive character-data chunks (entities, CDATA) count
+	// as one text node.
 	TextIn, TextOut int64
+	// ElementsSkipped and TextSkipped count nodes inside pruned subtrees
+	// (a subset of ElementsIn / TextIn).
+	ElementsSkipped, TextSkipped int64
 	// BytesOut counts output bytes.
 	BytesOut int64
 	// MaxDepth is the deepest open-element stack seen; the pruner's
@@ -430,14 +465,20 @@ func (p *Projector) PruneStreamValidating(dst io.Writer, src io.Reader) (PruneSt
 
 func (p *Projector) pruneStream(dst io.Writer, src io.Reader, validate bool) (PruneStats, error) {
 	st, err := prune.Stream(dst, src, p.d, p.pr.Names, prune.StreamOptions{Validate: validate})
+	return pruneStatsOf(st), err
+}
+
+func pruneStatsOf(st prune.Stats) PruneStats {
 	return PruneStats{
-		ElementsIn:  st.ElementsIn,
-		ElementsOut: st.ElementsOut,
-		TextIn:      st.TextIn,
-		TextOut:     st.TextOut,
-		BytesOut:    st.BytesOut,
-		MaxDepth:    st.MaxDepth,
-	}, err
+		ElementsIn:      st.ElementsIn,
+		ElementsOut:     st.ElementsOut,
+		TextIn:          st.TextIn,
+		TextOut:         st.TextOut,
+		ElementsSkipped: st.ElementsSkipped,
+		TextSkipped:     st.TextSkipped,
+		BytesOut:        st.BytesOut,
+		MaxDepth:        st.MaxDepth,
+	}
 }
 
 // Result is the outcome of evaluating a query.

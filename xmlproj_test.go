@@ -101,6 +101,30 @@ func TestCompileAutoDetect(t *testing.T) {
 	}
 }
 
+func TestCompileErrorNotShadowed(t *testing.T) {
+	// A broken path expression must surface the XPath diagnostic, not the
+	// XQuery fallback's "trailing input" (which shadowed it).
+	_, err := Compile(`//item[@id="x"]/name(`)
+	if err == nil {
+		t.Fatal("broken path accepted")
+	}
+	if !strings.Contains(err.Error(), "xpath") {
+		t.Fatalf("XPath diagnostic shadowed: %v", err)
+	}
+	if strings.Contains(err.Error(), "xquery: trailing input") {
+		t.Fatalf("XQuery fallback error leaked for a path expression: %v", err)
+	}
+
+	// A query that is neither must report both diagnostics.
+	_, err = Compile("for $ in in")
+	if err == nil {
+		t.Fatal("junk accepted")
+	}
+	if !strings.Contains(err.Error(), "neither XPath") || !strings.Contains(err.Error(), "XQuery") {
+		t.Fatalf("combined error missing a diagnostic: %v", err)
+	}
+}
+
 func TestPruneStream(t *testing.T) {
 	d, _ := apiSetup(t)
 	q, _ := CompileXPath("//book/year")
