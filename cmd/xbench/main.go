@@ -6,9 +6,11 @@
 //	xbench -factor 0.05                 # Table 1 + Figures 4/5, all queries
 //	xbench -factor 0.05 -q QM01,QP05    # a subset
 //	xbench -baseline                    # comparison with path projection [14]
+//	xbench -streamprune                 # pruner micro-benchmark → BENCH_streamprune.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,8 +34,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 42, "generator seed")
 	qsel := fs.String("q", "", "comma-separated query IDs (default: all)")
 	baseline := fs.Bool("baseline", false, "also run the path-projection baseline comparison")
+	streamprune := fs.Bool("streamprune", false, "benchmark the streaming pruner engines and write a JSON report")
+	spOut := fs.String("o", "BENCH_streamprune.json", "output path for the -streamprune report")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *streamprune {
+		return runStreamPrune(*factor, *seed, *spOut, stdout, stderr)
 	}
 
 	queries := bench.AllQueries()
@@ -81,5 +89,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		bench.PrintBaseline(stdout, comps)
 	}
+	return nil
+}
+
+// runStreamPrune benchmarks prune.Stream's two engines and writes the
+// JSON report consumed by the CI benchmark smoke job.
+func runStreamPrune(factor float64, seed int64, out string, stdout, stderr io.Writer) error {
+	fmt.Fprintf(stderr, "xbench: benchmarking streaming pruner at factor %g…\n", factor)
+	rep, err := bench.RunStreamPrune(factor, seed)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "stream prune benchmark (XMark factor %g, %d bytes)\n", rep.Factor, rep.DocBytes)
+	fmt.Fprintf(stdout, "%-10s %-8s %12s %10s %12s\n", "projector", "engine", "ns/op", "MB/s", "allocs/op")
+	for _, c := range rep.Cases {
+		fmt.Fprintf(stdout, "%-10s %-8s %12d %10.2f %12d\n", c.Projector, c.Engine, c.NsPerOp, c.MBPerSec, c.AllocsPerOp)
+	}
+	fmt.Fprintf(stdout, "low-selectivity: scanner is %.2fx faster, %.0fx fewer allocations\n",
+		rep.SpeedupLow, rep.AllocRatioLow)
+	fmt.Fprintf(stderr, "xbench: wrote %s\n", out)
 	return nil
 }

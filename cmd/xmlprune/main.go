@@ -222,16 +222,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	if len(batch) == 1 {
 		if batchErr == nil {
-			st := results[0].Stats
+			r := results[0]
+			st := r.Stats
 			fmt.Fprintf(stderr,
-				"xmlprune: %spruned in %s; elements %d -> %d; %d bytes out; depth %d\n",
-				inferNote, elapsed, st.ElementsIn, st.ElementsOut, st.BytesOut, st.MaxDepth)
+				"xmlprune: %spruned in %s; elements %d -> %d; %d -> %d bytes (%.1f MB/s); depth %d\n",
+				inferNote, elapsed, st.ElementsIn, st.ElementsOut,
+				r.BytesIn, st.BytesOut, r.Throughput(), st.MaxDepth)
 		}
 	} else {
+		for _, r := range results {
+			if r.Err != nil {
+				continue
+			}
+			fmt.Fprintf(stderr, "xmlprune: %s: %d -> %d bytes in %s (%.1f MB/s)\n",
+				r.Name, r.BytesIn, r.Stats.BytesOut, r.Elapsed.Round(time.Microsecond), r.Throughput())
+		}
+		mbps := 0.0
+		if elapsed > 0 {
+			mbps = float64(agg.BytesIn) / elapsed.Seconds() / 1e6
+		}
 		fmt.Fprintf(stderr,
-			"xmlprune: %spruned %d/%d documents in %s; elements %d -> %d; %d -> %d bytes; depth %d\n",
+			"xmlprune: %spruned %d/%d documents in %s; elements %d -> %d; %d -> %d bytes (%.1f MB/s); depth %d\n",
 			inferNote, agg.Pruned, len(batch), elapsed,
-			agg.ElementsIn, agg.ElementsOut, agg.BytesIn, agg.BytesOut, agg.MaxDepth)
+			agg.ElementsIn, agg.ElementsOut, agg.BytesIn, agg.BytesOut, mbps, agg.MaxDepth)
 	}
 	return batchErr
 }

@@ -125,9 +125,20 @@ type BatchResult struct {
 	Stats PruneStats
 	// BytesIn counts bytes read from the source.
 	BytesIn int64
+	// Elapsed is the wall time the prune took (zero for skipped jobs).
+	Elapsed time.Duration
 	// Err is nil on success; jobs skipped after cancellation carry the
 	// context error.
 	Err error
+}
+
+// Throughput returns the job's input processing rate in MB/s (0 when
+// nothing was timed).
+func (r BatchResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.BytesIn) / r.Elapsed.Seconds() / 1e6
 }
 
 // BatchOptions configures one PruneBatch call.
@@ -166,7 +177,7 @@ func (eng *Engine) PruneBatch(ctx context.Context, p *Projector, jobs []BatchJob
 	})
 	out := make([]BatchResult, len(res))
 	for i, r := range res {
-		out[i] = BatchResult{Name: r.Name, Stats: pruneStatsOf(r.Stats), BytesIn: r.BytesIn, Err: r.Err}
+		out[i] = BatchResult{Name: r.Name, Stats: pruneStatsOf(r.Stats), BytesIn: r.BytesIn, Elapsed: r.Elapsed, Err: r.Err}
 	}
 	return out, BatchStats{
 		PruneStats: pruneStatsOf(agg.Stats),

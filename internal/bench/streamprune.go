@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"xmlproj/internal/dtd"
+	"xmlproj/internal/prune"
+)
+
+// StreamPruneCase is one (projector, engine) measurement of the
+// streaming pruner, in the units `go test -bench` reports.
+type StreamPruneCase struct {
+	// Projector names the π shape: "low" keeps a thin slice (most
+	// subtrees skip-scanned), "mid" a moderate one, "full" everything
+	// (the raw-copy fast path when validation is off).
+	Projector string `json:"projector"`
+	// Engine is "scanner" (internal/scan) or "decoder" (encoding/xml).
+	Engine string `json:"engine"`
+	// Validate reports whether validation was fused into the prune.
+	Validate bool `json:"validate"`
+
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"alloc_bytes_per_op"`
+	BytesOut    int64   `json:"bytes_out"`
+}
+
+// StreamPruneReport is the JSON artifact emitted by `xbench -streamprune`.
+type StreamPruneReport struct {
+	Factor   float64 `json:"factor"`
+	Seed     int64   `json:"seed"`
+	DocBytes int64   `json:"doc_bytes"`
+	// SpeedupLow and AllocRatioLow compare scanner vs decoder on the
+	// low-selectivity projector: throughput ratio and allocation ratio.
+	SpeedupLow    float64           `json:"speedup_low"`
+	AllocRatioLow float64           `json:"alloc_ratio_low"`
+	Cases         []StreamPruneCase `json:"cases"`
+}
+
+// StreamPruneProjectors returns the benchmark π shapes over the XMark
+// grammar, ordered low → mid → full selectivity.
+func StreamPruneProjectors(d *dtd.DTD) []struct {
+	Name string
+	Pi   dtd.NameSet
+} {
+	low := dtd.NewNameSet("site", "regions", "africa", "item", "item@id",
+		"location", "location#text")
+	mid := dtd.NewNameSet("site", "people", "person", "person@id", "name",
+		"name#text", "emailaddress", "emailaddress#text", "open_auctions",
+		"open_auction", "open_auction@id", "initial", "initial#text")
+	full := dtd.NewNameSet()
+	for _, n := range d.Names() {
+		full.Add(n)
+	}
+	return []struct {
+		Name string
+		Pi   dtd.NameSet
+	}{{"low", low}, {"mid", mid}, {"full", full}}
+}
+
+// RunStreamPrune benchmarks prune.Stream on both engines across the
+// projector shapes and packages the results.
+func RunStreamPrune(factor float64, seed int64) (*StreamPruneReport, error) {
+	w := NewWorkload(factor, seed)
+	rep := &StreamPruneReport{Factor: factor, Seed: seed, DocBytes: int64(len(w.DocBytes))}
+	engines := []struct {
+		Name string
+		Eng  prune.Engine
+	}{{"scanner", prune.EngineScanner}, {"decoder", prune.EngineDecoder}}
+
+	var lowScanner, lowDecoder *StreamPruneCase
+	for _, p := range StreamPruneProjectors(w.D) {
+		for _, e := range engines {
+			pi, eng := p.Pi, e.Eng
+			var stats prune.Stats
+			var serr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					stats, serr = prune.Stream(io.Discard, bytes.NewReader(w.DocBytes), w.D, pi, prune.StreamOptions{Engine: eng})
+					if serr != nil {
+						b.Fatal(serr)
+					}
+				}
+			})
+			if serr != nil {
+				return nil, serr
+			}
+			c := StreamPruneCase{
+				Projector:   p.Name,
+				Engine:      e.Name,
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				BytesOut:    stats.BytesOut,
+			}
+			if r.T > 0 {
+				c.MBPerSec = float64(int64(r.N)*rep.DocBytes) / r.T.Seconds() / 1e6
+			}
+			rep.Cases = append(rep.Cases, c)
+			if p.Name == "low" {
+				switch e.Name {
+				case "scanner":
+					lowScanner = &rep.Cases[len(rep.Cases)-1]
+				case "decoder":
+					lowDecoder = &rep.Cases[len(rep.Cases)-1]
+				}
+			}
+		}
+	}
+	if lowScanner != nil && lowDecoder != nil {
+		if lowDecoder.MBPerSec > 0 {
+			rep.SpeedupLow = lowScanner.MBPerSec / lowDecoder.MBPerSec
+		}
+		if lowScanner.AllocsPerOp > 0 {
+			rep.AllocRatioLow = float64(lowDecoder.AllocsPerOp) / float64(lowScanner.AllocsPerOp)
+		}
+	}
+	return rep, nil
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Name is a non-terminal name of the grammar (X, Y, Z … in the paper).
@@ -102,6 +103,11 @@ type DTD struct {
 	contentOf   map[Name]NameSet // content-model names only
 	parentsOf   map[Name]NameSet // ⇒E preimage
 	ancestorsOf map[Name]NameSet // ⇒E⁺ preimage
+
+	// syms is the dense symbol table used by byte-level scanners,
+	// built lazily once (the grammar is immutable after parsing).
+	symOnce sync.Once
+	syms    *Symbols
 }
 
 // Names returns all defined names DN(E) in declaration order (element

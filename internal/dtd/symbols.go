@@ -1,0 +1,226 @@
+package dtd
+
+import "strings"
+
+// Symbols assigns every element name of the grammar a dense integer
+// index, so byte-level scanners can resolve tags and answer projector
+// membership with array indexing instead of string conversions and map
+// probes on every token. The table is built once per DTD and cached;
+// the grammar is immutable after parsing, so this is safe to share.
+type Symbols struct {
+	byTag map[string]int32
+	infos []SymInfo
+}
+
+// SymInfo is the per-element data a scanner needs on the hot path.
+type SymInfo struct {
+	Name Name
+	Def  *Def
+	Tag  string
+}
+
+// Symbols returns the cached symbol table for the grammar.
+func (d *DTD) Symbols() *Symbols {
+	d.symOnce.Do(func() {
+		s := &Symbols{byTag: make(map[string]int32, len(d.ByTag))}
+		for _, n := range d.order {
+			def := d.Defs[n]
+			if def.Text {
+				continue
+			}
+			s.byTag[def.Tag] = int32(len(s.infos))
+			s.infos = append(s.infos, SymInfo{Name: n, Def: def, Tag: def.Tag})
+		}
+		d.syms = s
+	})
+	return d.syms
+}
+
+// Len returns the number of element symbols.
+func (s *Symbols) Len() int { return len(s.infos) }
+
+// Info returns the per-element data for a symbol.
+func (s *Symbols) Info(sym int32) *SymInfo { return &s.infos[sym] }
+
+// Lookup resolves an element tag to its symbol. The tag is passed as
+// bytes; the conversion in the map probe does not allocate.
+func (s *Symbols) Lookup(tag []byte) (int32, bool) {
+	sym, ok := s.byTag[string(tag)]
+	return sym, ok
+}
+
+// Projection bits.
+const (
+	// KeepElem: the element name is in π.
+	KeepElem = 1 << iota
+	// KeepText: the element's text name is in π.
+	KeepText
+	// RawCopy: every name reachable from the element (its full content
+	// closure, including text and attribute names) is in π, so a subtree
+	// rooted here projects to itself and a pruner may copy its bytes
+	// through without per-name projector decisions.
+	RawCopy
+)
+
+// AttrProj is the compiled projector decision for one declared attribute.
+type AttrProj struct {
+	// Attr is the attribute name as written in documents.
+	Attr string
+	// Keep is true when the derived name elem@attr is in π.
+	Keep bool
+	// Def is the declaration, for validating pruners.
+	Def *AttDef
+}
+
+// Projection is a type projector π compiled against a symbol table: a
+// dense flag array indexed by element symbol plus per-element attribute
+// decisions. Compiling once per prune moves every set-membership test
+// off the token loop.
+type Projection struct {
+	Syms  *Symbols
+	flags []uint8
+	attrs [][]AttrProj
+	// extra holds π entries naming attributes that the DTD does not
+	// declare on that element (possible when a caller hand-builds π).
+	// Almost always nil.
+	extra []map[string]bool
+}
+
+// CompileProjection compiles π against the grammar's symbol table.
+func (d *DTD) CompileProjection(pi NameSet) *Projection {
+	syms := d.Symbols()
+	p := &Projection{
+		Syms:  syms,
+		flags: make([]uint8, len(syms.infos)),
+		attrs: make([][]AttrProj, len(syms.infos)),
+	}
+	for i := range syms.infos {
+		info := &syms.infos[i]
+		var f uint8
+		if pi.Has(info.Name) {
+			f |= KeepElem
+		}
+		if pi.Has(TextName(info.Name)) {
+			f |= KeepText
+		}
+		p.flags[i] = f
+		atts := info.Def.Atts
+		if len(atts) > 0 {
+			ap := make([]AttrProj, len(atts))
+			for j := range atts {
+				ap[j] = AttrProj{Attr: atts[j].Attr, Keep: pi.Has(atts[j].Name), Def: &atts[j]}
+			}
+			p.attrs[i] = ap
+		}
+	}
+	// π entries for attributes the DTD never declared still keep matching
+	// document attributes (the decoder-based pruner behaves this way), so
+	// they need a dynamic side table.
+	for n := range pi {
+		if !n.IsAttr() {
+			continue
+		}
+		s := string(n)
+		at := strings.IndexByte(s, '@')
+		sym, ok := d.Symbols().byTag[elemTagOf(d, Name(s[:at]))]
+		if !ok {
+			continue
+		}
+		attr := s[at+1:]
+		declared := false
+		for _, ap := range p.attrs[sym] {
+			if ap.Attr == attr {
+				declared = true
+				break
+			}
+		}
+		if !declared {
+			if p.extra == nil {
+				p.extra = make([]map[string]bool, len(syms.infos))
+			}
+			if p.extra[sym] == nil {
+				p.extra[sym] = make(map[string]bool)
+			}
+			p.extra[sym][attr] = true
+		}
+	}
+	p.compileRawCopy(d, pi)
+	return p
+}
+
+// elemTagOf maps an element name to its tag ("" if not an element).
+func elemTagOf(d *DTD, n Name) string {
+	if def := d.Defs[n]; def != nil && !def.Text {
+		return def.Tag
+	}
+	return ""
+}
+
+// compileRawCopy marks the symbols whose entire reachable closure is in
+// π: iterate to a fixpoint, demoting any kept element that can reach a
+// discarded name. Runs in O(edges · depth); grammars are small.
+func (p *Projection) compileRawCopy(d *DTD, pi NameSet) {
+	n := len(p.flags)
+	closed := make([]bool, n)
+	for i := range closed {
+		closed[i] = p.flags[i]&KeepElem != 0 && p.extra == nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if !closed[i] {
+				continue
+			}
+			info := &p.Syms.infos[i]
+			ok := true
+			for c := range d.Children(info.Name) {
+				if c.IsAttr() || c.IsText() {
+					if !pi.Has(c) {
+						ok = false
+						break
+					}
+					continue
+				}
+				cdef := d.Defs[c]
+				if cdef == nil || cdef.Text {
+					if !pi.Has(c) {
+						ok = false
+						break
+					}
+					continue
+				}
+				csym, found := p.Syms.byTag[cdef.Tag]
+				if !found || !closed[csym] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				closed[i] = false
+				changed = true
+			}
+		}
+	}
+	for i, c := range closed {
+		if c {
+			p.flags[i] |= RawCopy
+		}
+	}
+}
+
+// Flags returns the projector bits for a symbol.
+func (p *Projection) Flags(sym int32) uint8 { return p.flags[sym] }
+
+// Attrs returns the compiled attribute decisions for a symbol, in
+// declaration order.
+func (p *Projection) Attrs(sym int32) []AttrProj { return p.attrs[sym] }
+
+// KeepExtraAttr reports whether π keeps an attribute that the DTD does
+// not declare on this element. The byte-slice map probe does not
+// allocate.
+func (p *Projection) KeepExtraAttr(sym int32, attr []byte) bool {
+	if p.extra == nil || p.extra[sym] == nil {
+		return false
+	}
+	return p.extra[sym][string(attr)]
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"xmlproj/internal/dtd"
 	"xmlproj/internal/prune"
@@ -30,9 +31,21 @@ type JobResult struct {
 	Stats prune.Stats
 	// BytesIn counts bytes read from the job's source.
 	BytesIn int64
+	// Elapsed is the wall time the prune took (zero for skipped jobs),
+	// so callers can report per-job throughput.
+	Elapsed time.Duration
 	// Err is nil on success. Jobs skipped after cancellation (fail-fast
 	// or a cancelled context) carry the context error.
 	Err error
+}
+
+// Throughput returns the job's input processing rate in MB/s (0 when
+// nothing was timed).
+func (r JobResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.BytesIn) / r.Elapsed.Seconds() / 1e6
 }
 
 // BatchOptions configures one PruneBatch call.
@@ -152,7 +165,9 @@ func (e *Engine) runJob(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, job Job
 		res.Err = err
 	} else {
 		src := &countingReader{r: job.Src, ctx: ctx}
+		start := time.Now()
 		res.Stats, res.Err = prune.Stream(job.Dst, src, d, pi, prune.StreamOptions{Validate: opts.Validate})
+		res.Elapsed = time.Since(start)
 		res.BytesIn = src.n
 		// A prune aborted by cancellation reports the context error, not
 		// the wrapped read error, so callers can tell "skipped" from

@@ -10,12 +10,16 @@ package prune
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/xml"
 	"fmt"
 	"io"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"xmlproj/internal/dtd"
+	"xmlproj/internal/scan"
 	"xmlproj/internal/tree"
 	"xmlproj/internal/validate"
 )
@@ -88,20 +92,82 @@ type Stats struct {
 	MaxDepth int
 }
 
+// Engine selects the tokenizer behind Stream.
+type Engine int
+
+const (
+	// EngineAuto picks the byte-level scanner for UTF-8 input and falls
+	// back to encoding/xml when the first bytes look like a UTF-16/32
+	// document. This is the default.
+	EngineAuto Engine = iota
+	// EngineScanner forces the byte-level scanner (internal/scan).
+	EngineScanner
+	// EngineDecoder forces the encoding/xml token path. It is the
+	// reference implementation: the scanner's output and stats are
+	// differentially tested against it.
+	EngineDecoder
+)
+
 // StreamOptions configures a streaming prune.
 type StreamOptions struct {
 	// Validate checks content models, attribute declarations and the root
 	// element while pruning (§6: "prune the document while validating it").
+	// Validation also disables the scanner's raw-copy fast path: verbatim
+	// passthrough would skip the per-node checks.
 	Validate bool
+	// Engine selects the tokenizer; the zero value is EngineAuto.
+	Engine Engine
 }
 
 // Stream prunes the XML document read from src against π, writing the
 // pruned document to dst in one pass. Subtrees rooted at pruned elements
 // are skipped without buffering, so memory use is bounded by the document
 // depth.
+//
+// By default the prune runs on the byte-level scanner (internal/scan):
+// tags and text are tokenized as sub-slices of the read buffer, names
+// resolve through the DTD's dense symbol table, subtrees outside π are
+// skip-scanned without materialisation, and (when not validating)
+// subtrees whose reachable closure lies inside π are copied through
+// verbatim. Output is byte-identical to the encoding/xml path, which is
+// kept as the fallback for non-UTF-8 input and as the testing oracle.
 func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts StreamOptions) (Stats, error) {
 	var stats Stats
 	bw := bufio.NewWriterSize(countingWriter{w: dst, n: &stats.BytesOut}, 1<<16)
+
+	eng := opts.Engine
+	if eng == EngineAuto {
+		var hdr [4]byte
+		n, _ := io.ReadFull(src, hdr[:])
+		src = io.MultiReader(bytes.NewReader(hdr[:n]), src)
+		if looksNonUTF8(hdr[:n]) {
+			eng = EngineDecoder
+		} else {
+			eng = EngineScanner
+		}
+	}
+	if eng == EngineScanner {
+		proj := d.CompileProjection(pi)
+		sst, err := scan.Prune(bw, src, d, proj, scan.Options{
+			Validate: opts.Validate,
+			RawCopy:  !opts.Validate,
+		})
+		stats.ElementsIn = sst.ElementsIn
+		stats.ElementsOut = sst.ElementsOut
+		stats.TextIn = sst.TextIn
+		stats.TextOut = sst.TextOut
+		stats.ElementsSkipped = sst.ElementsSkipped
+		stats.TextSkipped = sst.TextSkipped
+		stats.MaxDepth = sst.MaxDepth
+		if err != nil {
+			return stats, fmt.Errorf("prune: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return stats, fmt.Errorf("prune: %w", err)
+		}
+		return stats, nil
+	}
+
 	dec := xml.NewDecoder(src)
 
 	type frame struct {
@@ -227,11 +293,10 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 			if len(stack) == 0 {
 				continue
 			}
-			s := string(t)
-			if strings.TrimSpace(s) == "" {
+			if allSpace(t) {
 				continue
 			}
-			text.WriteString(s)
+			text.Write(t)
 		case xml.Comment, xml.ProcInst, xml.Directive:
 			// Outside the data model; dropped (the paper's pruner keeps
 			// only elements, attributes and text). The surrounding
@@ -282,7 +347,7 @@ func skipSubtree(dec *xml.Decoder, stats *Stats) error {
 			flush()
 			depth--
 		case xml.CharData:
-			if strings.TrimSpace(string(t)) != "" {
+			if !allSpace(t) {
 				pending = true
 			}
 		}
@@ -327,6 +392,48 @@ func writeStart(bw *bufio.Writer, tag string, attrs []xml.Attr, def *dtd.Def, pi
 		}
 	}
 	return nil
+}
+
+// allSpace reports whether the chunk is whitespace-only, without the
+// string conversion that strings.TrimSpace(string(t)) would allocate on
+// every character-data token.
+func allSpace(b []byte) bool {
+	i := 0
+	for i < len(b) && b[i] < utf8.RuneSelf {
+		switch b[i] {
+		case ' ', '\t', '\n', '\r', '\v', '\f':
+			i++
+		default:
+			return false
+		}
+	}
+	for i < len(b) {
+		r, size := utf8.DecodeRune(b[i:])
+		if !unicode.IsSpace(r) {
+			return false
+		}
+		i += size
+	}
+	return true
+}
+
+// looksNonUTF8 sniffs the first bytes for UTF-16/32 byte-order marks or
+// null-padded '<' patterns; such documents go to the encoding/xml path
+// (which itself rejects undeclared non-UTF-8 encodings, matching the
+// scanner). UTF-8 declarations and the UTF-8 BOM stay on the scanner.
+func looksNonUTF8(h []byte) bool {
+	if len(h) >= 2 {
+		if (h[0] == 0xFE && h[1] == 0xFF) || (h[0] == 0xFF && h[1] == 0xFE) {
+			return true // UTF-16 BOM (UTF-32LE BOM shares the prefix)
+		}
+		if (h[0] == 0x3C && h[1] == 0x00) || (h[0] == 0x00 && h[1] == 0x3C) {
+			return true // '<' in UTF-16 without a BOM
+		}
+	}
+	if len(h) >= 4 && h[0] == 0x00 && h[1] == 0x00 && h[2] == 0xFE && h[3] == 0xFF {
+		return true // UTF-32BE BOM
+	}
+	return false
 }
 
 func inList(xs []string, v string) bool {

@@ -1,0 +1,785 @@
+package scan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"xmlproj/internal/dtd"
+)
+
+// Options configures a scanner-based prune.
+type Options struct {
+	// Validate checks content models, attribute declarations and the
+	// root element while pruning.
+	Validate bool
+	// RawCopy enables verbatim passthrough windows for subtrees whose
+	// reachable closure is inside π. Callers must disable it together
+	// with Validate: raw copying skips the per-node validation work.
+	RawCopy bool
+}
+
+// Stats mirrors the streaming pruner's counters (the prune package owns
+// the documented contract; BytesOut is counted by the caller's writer).
+type Stats struct {
+	ElementsIn, ElementsOut      int64
+	TextIn, TextOut              int64
+	ElementsSkipped, TextSkipped int64
+	MaxDepth                     int
+}
+
+// Prune runs the byte-level pruner: src is tokenized in place, names
+// resolve through the DTD symbol table, and the compiled projection
+// answers keep/skip per element with an array lookup. Output written to
+// bw is byte-identical to the encoding/xml-based pruner's.
+func Prune(bw *bufio.Writer, src io.Reader, d *dtd.DTD, proj *dtd.Projection, opts Options) (Stats, error) {
+	pr := &pruner{s: NewScanner(src), d: d, p: proj, bw: bw, opts: opts}
+	err := pr.run()
+	return pr.st, err
+}
+
+// windowFlushSize bounds how many verbatim bytes a raw-copy window may
+// hold before being streamed out, keeping memory independent of the
+// copied subtree's size.
+const windowFlushSize = 32 << 10
+
+type frame struct {
+	sym    int32
+	prefix string // interned; "" for unprefixed tags
+	state  int    // content-model DFA state (when validating)
+}
+
+type pruner struct {
+	s    *Scanner
+	d    *dtd.DTD
+	p    *dtd.Projection
+	bw   *bufio.Writer
+	opts Options
+	st   Stats
+
+	stack   []frame
+	open    bool // last start tag's '>' not yet written (enables <e/>)
+	sawRoot bool
+
+	// Logical text run: runPending is set when a non-whitespace chunk
+	// joined the current run; textBuf holds the decoded bytes that are
+	// not already flowing through the raw-copy window.
+	runPending bool
+	textBuf    []byte
+
+	// Raw-copy window: while win is set, the scanner's mark pins the
+	// start of a span of input bytes already known to equal the
+	// canonical output; non-verbatim tokens flush the span and restart
+	// it. openInWin marks a provisionally-copied '>' (at mark-relative
+	// openRel) that must be withheld if the element turns out to
+	// self-close in the output.
+	win       bool
+	winDepth  int // stack depth of the raw root; window closes below it
+	openInWin bool
+	openRel   int
+
+	tagBuf   []byte // canonical rendering of the current start tag
+	attrVal  []byte // decoded attribute value / discard scratch
+	seen     []bool // declared-attribute tracking for #REQUIRED checks
+	prefixes map[string]string
+
+	// skip-scan name stack: full end-tag names to match, stored in one
+	// growable buffer to stay allocation-free in steady state.
+	skipBuf  []byte
+	skipOffs []int
+}
+
+func (pr *pruner) run() error {
+	s := pr.s
+	for {
+		var tokRel int
+		if pr.win {
+			tokRel = s.pos - s.mark
+		} else {
+			s.setMark()
+		}
+		b, ok := s.getc()
+		if !ok {
+			if !s.atEOF() {
+				return s.rerr
+			}
+			break
+		}
+		if b != '<' {
+			s.ungetc()
+			if err := pr.chunk(tokRel, false); err != nil {
+				return err
+			}
+		} else {
+			b2, ok := s.getc()
+			if !ok {
+				return s.readErr()
+			}
+			switch b2 {
+			case '/':
+				if err := pr.endTag(tokRel); err != nil {
+					return err
+				}
+			case '?':
+				if pr.win {
+					pr.flushWindowUpTo(tokRel)
+				}
+				if err := s.skipPI(); err != nil {
+					return err
+				}
+				pr.winRestart()
+			case '!':
+				b3, ok := s.getc()
+				if !ok {
+					return s.readErr()
+				}
+				switch b3 {
+				case '-':
+					b4, ok := s.getc()
+					if !ok {
+						return s.readErr()
+					}
+					if b4 != '-' {
+						return errSyntax("invalid sequence <!- not part of <!--")
+					}
+					if pr.win {
+						pr.flushWindowUpTo(tokRel)
+					}
+					if err := s.skipComment(); err != nil {
+						return err
+					}
+					pr.winRestart()
+				case '[':
+					if err := s.expectCDATA(); err != nil {
+						return err
+					}
+					if err := pr.chunk(tokRel, true); err != nil {
+						return err
+					}
+				default:
+					// Directive. The first byte after <! is accumulated
+					// uninterpreted, as in encoding/xml.
+					if pr.win {
+						pr.flushWindowUpTo(tokRel)
+					}
+					if err := s.skipDirective(); err != nil {
+						return err
+					}
+					pr.winRestart()
+				}
+			default:
+				s.ungetc()
+				if err := pr.startTag(tokRel); err != nil {
+					return err
+				}
+			}
+		}
+		if !pr.win {
+			s.clearMark()
+		}
+	}
+	if len(pr.stack) != 0 {
+		top := pr.stack[len(pr.stack)-1]
+		return fmt.Errorf("unterminated element %s", pr.p.Syms.Info(top.sym).Name)
+	}
+	if !pr.sawRoot {
+		return fmt.Errorf("no root element in input")
+	}
+	return nil
+}
+
+// chunk reads one character-data chunk (plain text after the current
+// position, or a CDATA section body) and folds it into the current
+// logical text run, mirroring the decoder path: whitespace-only chunks
+// are dropped, others coalesce until the next element tag.
+func (pr *pruner) chunk(tokRel int, cdata bool) error {
+	s := pr.s
+	depth := len(pr.stack)
+	var dst []byte
+	prevLen := 0
+	if depth == 0 {
+		dst = pr.attrVal[:0]
+	} else {
+		dst = pr.textBuf
+		prevLen = len(dst)
+	}
+	out, info, err := s.text(dst, -1, cdata)
+	if cdata {
+		// CDATA bodies are re-escaped on output, never copied raw.
+		info.verbatim = false
+	}
+	if depth == 0 {
+		pr.attrVal = out[:0]
+		// Text outside the root is tokenized and validated but ignored
+		// by the pruner, exactly like the decoder path.
+		return err
+	}
+	if err != nil {
+		pr.textBuf = out[:prevLen]
+		return err
+	}
+	if info.ws {
+		pr.textBuf = out[:prevLen]
+		if pr.win {
+			// Dropped bytes must not ride along in the window.
+			pr.flushWindowUpTo(tokRel)
+			pr.winRestart()
+		}
+		return nil
+	}
+	pr.runPending = true
+	if pr.win {
+		top := &pr.stack[depth-1]
+		if info.verbatim && pr.p.Flags(top.sym)&dtd.KeepText != 0 {
+			// The raw bytes are exactly the canonical output: keep them
+			// in the window and do not duplicate them in textBuf.
+			pr.closeOpen()
+			pr.textBuf = out[:prevLen]
+			pr.maybeSlide()
+			return nil
+		}
+		pr.flushWindowUpTo(tokRel)
+		pr.textBuf = out
+		pr.winRestart()
+		return nil
+	}
+	pr.textBuf = out
+	return nil
+}
+
+// flushText ends the current logical text run: counts it, validates its
+// placement, and writes the escaped bytes if π keeps the element's text.
+func (pr *pruner) flushText() error {
+	if !pr.runPending {
+		return nil
+	}
+	pr.runPending = false
+	pr.st.TextIn++
+	top := &pr.stack[len(pr.stack)-1]
+	info := pr.p.Syms.Info(top.sym)
+	if pr.opts.Validate {
+		next := info.Def.Automaton().Next(top.state, dtd.TextName(info.Name))
+		if next < 0 {
+			pr.textBuf = pr.textBuf[:0]
+			return fmt.Errorf("text content not allowed in %s", info.Name)
+		}
+		top.state = next
+	}
+	if pr.p.Flags(top.sym)&dtd.KeepText != 0 {
+		pr.closeOpen()
+		writeEscapedText(pr.bw, pr.textBuf)
+		pr.st.TextOut++
+	}
+	pr.textBuf = pr.textBuf[:0]
+	return nil
+}
+
+// closeOpen commits a pending start-tag '>'. When the '>' is riding in
+// the raw-copy window its bytes flow out with the window; otherwise it
+// is written here.
+func (pr *pruner) closeOpen() {
+	if !pr.open {
+		return
+	}
+	pr.open = false
+	if pr.openInWin {
+		pr.openInWin = false
+		return
+	}
+	pr.bw.WriteByte('>')
+}
+
+// flushWindowUpTo writes the window's verbatim span up to mark-relative
+// position rel and releases the mark; the caller restarts the window
+// after consuming the current (non-verbatim) token. A provisional
+// start-tag '>' at the end of the span is withheld — closeOpen writes
+// it later if the element gets kept content, and "/>" replaces it if
+// the element self-closes in the output.
+func (pr *pruner) flushWindowUpTo(rel int) {
+	s := pr.s
+	end := rel
+	if pr.openInWin && pr.openRel < end {
+		end = pr.openRel
+		pr.openInWin = false
+	}
+	if end > 0 {
+		pr.bw.Write(s.buf[s.mark : s.mark+end])
+	}
+	s.clearMark()
+}
+
+// winRestart re-pins the window at the current position.
+func (pr *pruner) winRestart() {
+	if pr.win {
+		pr.s.setMark()
+	}
+}
+
+// maybeSlide streams out the window's committed bytes once it grows
+// past windowFlushSize, so raw-copied subtrees never buffer wholesale.
+func (pr *pruner) maybeSlide() {
+	s := pr.s
+	if s.pos-s.mark < windowFlushSize {
+		return
+	}
+	if pr.openInWin {
+		if pr.openRel > 0 {
+			pr.bw.Write(s.buf[s.mark : s.mark+pr.openRel])
+			s.mark += pr.openRel
+			pr.openRel = 0
+		}
+		return
+	}
+	pr.bw.Write(s.buf[s.mark:s.pos])
+	s.mark = s.pos
+}
+
+// closeWindow flushes the remaining span and deactivates raw copying.
+func (pr *pruner) closeWindow() {
+	s := pr.s
+	if s.mark >= 0 && s.pos > s.mark {
+		pr.bw.Write(s.buf[s.mark:s.pos])
+	}
+	s.clearMark()
+	pr.win = false
+	pr.openInWin = false
+}
+
+func (pr *pruner) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if p, ok := pr.prefixes[string(b)]; ok {
+		return p
+	}
+	if pr.prefixes == nil {
+		pr.prefixes = make(map[string]string)
+	}
+	p := string(b)
+	pr.prefixes[p] = p
+	return p
+}
+
+// startTag handles a start (or empty-element) tag; the scanner mark is
+// at the '<' and the '<' is consumed.
+func (pr *pruner) startTag(tokRel int) error {
+	s := pr.s
+	nameRel := s.pos - s.mark
+	ok, err := s.readName()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errSyntax("expected element name after <")
+	}
+	nameEndRel := s.pos - s.mark
+	name := s.buf[s.mark+nameRel : s.mark+nameEndRel]
+	if !s.checkName(name) {
+		return errSyntax("invalid XML name: " + string(name))
+	}
+	prefixB, local, okn := splitName(name)
+	if !okn {
+		return errSyntax("expected element name after <")
+	}
+	if err := pr.flushText(); err != nil {
+		return err
+	}
+	pr.st.ElementsIn++
+	pr.sawRoot = true
+	sym, found := pr.p.Syms.Lookup(local)
+	if !found {
+		return fmt.Errorf("element %q not declared in DTD", local)
+	}
+	info := pr.p.Syms.Info(sym)
+	if pr.opts.Validate {
+		if len(pr.stack) == 0 {
+			if info.Name != pr.d.Root {
+				return fmt.Errorf("root element is %s, DTD requires %s", info.Name, pr.d.Root)
+			}
+		} else {
+			top := &pr.stack[len(pr.stack)-1]
+			tinfo := pr.p.Syms.Info(top.sym)
+			top.state = tinfo.Def.Automaton().Next(top.state, info.Name)
+			if top.state < 0 {
+				return fmt.Errorf("element %s not allowed here in content of %s", info.Name, tinfo.Name)
+			}
+		}
+	}
+	flags := pr.p.Flags(sym)
+
+	if flags&dtd.KeepElem == 0 {
+		// Discarded subtree: the root's end-tag name must still match,
+		// so copy the full name before attribute spans invalidate it.
+		pr.pushSkipName(name)
+		if pr.win {
+			pr.flushWindowUpTo(tokRel)
+		}
+		empty, err := pr.skipAttrs()
+		if err != nil {
+			return err
+		}
+		if !empty {
+			if err := pr.skipScan(); err != nil {
+				return err
+			}
+		} else {
+			pr.popSkipName()
+		}
+		pr.winRestart()
+		return nil
+	}
+
+	prefix := pr.intern(prefixB)
+	pr.closeOpen()
+
+	// Raw-copy window activation: every name reachable from this
+	// element is in π, so on valid inputs the whole subtree projects to
+	// itself and its canonical spans can be copied through.
+	if !pr.win && pr.opts.RawCopy && flags&dtd.RawCopy != 0 {
+		pr.win = true
+		tokRel = 0 // mark already sits at this token's '<'
+	}
+
+	canonical := pr.win && len(prefixB) == 0
+	pr.tagBuf = append(pr.tagBuf[:0], '<')
+	pr.tagBuf = append(pr.tagBuf, info.Tag...)
+
+	if pr.opts.Validate {
+		decl := pr.p.Attrs(sym)
+		if cap(pr.seen) < len(decl) {
+			pr.seen = make([]bool, len(decl))
+		}
+		pr.seen = pr.seen[:len(decl)]
+		for i := range pr.seen {
+			pr.seen[i] = false
+		}
+	}
+
+	empty := false
+	for {
+		preSpace := s.pos - s.mark
+		s.space()
+		spaceLen := (s.pos - s.mark) - preSpace
+		b, ok := s.getc()
+		if !ok {
+			return s.readErr()
+		}
+		if b == '/' {
+			if spaceLen != 0 {
+				canonical = false
+			}
+			b2, ok := s.getc()
+			if !ok {
+				return s.readErr()
+			}
+			if b2 != '>' {
+				return errSyntax("expected /> in element")
+			}
+			empty = true
+			break
+		}
+		if b == '>' {
+			if spaceLen != 0 {
+				canonical = false
+			}
+			break
+		}
+		s.ungetc()
+		if spaceLen != 1 || s.buf[s.mark+preSpace] != ' ' {
+			canonical = false
+		}
+		anRel := s.pos - s.mark
+		ok, err := s.readName()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errSyntax("expected attribute name in element")
+		}
+		anEndRel := s.pos - s.mark
+		if !s.checkName(s.buf[s.mark+anRel : s.mark+anEndRel]) {
+			return errSyntax("invalid XML name: " + string(s.buf[s.mark+anRel:s.mark+anEndRel]))
+		}
+		eqRel := s.pos - s.mark
+		s.space()
+		if s.pos-s.mark != eqRel {
+			canonical = false
+		}
+		b, ok = s.getc()
+		if !ok {
+			return s.readErr()
+		}
+		if b != '=' {
+			return errSyntax("attribute name without = in element")
+		}
+		qRel := s.pos - s.mark
+		s.space()
+		if s.pos-s.mark != qRel {
+			canonical = false
+		}
+		qb, ok := s.getc()
+		if !ok {
+			return s.readErr()
+		}
+		if qb != '"' && qb != '\'' {
+			return errSyntax("unquoted or missing attribute value in element")
+		}
+		if qb != '"' {
+			canonical = false
+		}
+		var vinfo textInfo
+		pr.attrVal, vinfo, err = s.text(pr.attrVal[:0], int(qb), false)
+		if err != nil {
+			return err
+		}
+		if !vinfo.verbatim {
+			canonical = false
+		}
+
+		// Re-derive the name from its offsets: the value decode may
+		// have slid the buffer.
+		aname := s.buf[s.mark+anRel : s.mark+anEndRel]
+		aprefix, alocal, okn := splitName(aname)
+		if !okn {
+			return errSyntax("expected attribute name in element")
+		}
+		decl := pr.p.Attrs(sym)
+		api := -1
+		for i := range decl {
+			if string(alocal) == decl[i].Attr {
+				api = i
+				break
+			}
+		}
+		if pr.opts.Validate && api >= 0 {
+			pr.seen[api] = true
+		}
+		if string(aprefix) == "xmlns" || string(alocal) == "xmlns" {
+			canonical = false
+			continue
+		}
+		if pr.opts.Validate {
+			if api < 0 {
+				return fmt.Errorf("undeclared attribute %q on %s", alocal, info.Tag)
+			}
+			ad := decl[api].Def
+			if len(ad.Enum) > 0 && !inEnum(ad.Enum, pr.attrVal) {
+				return fmt.Errorf("attribute %q on %s has value %q outside its enumeration", alocal, info.Tag, pr.attrVal)
+			}
+		}
+		keep := false
+		if api >= 0 {
+			keep = decl[api].Keep
+		} else {
+			keep = pr.p.KeepExtraAttr(sym, alocal)
+		}
+		if !keep {
+			canonical = false
+			continue
+		}
+		if len(aprefix) != 0 {
+			canonical = false
+		}
+		pr.tagBuf = append(pr.tagBuf, ' ')
+		pr.tagBuf = append(pr.tagBuf, alocal...)
+		pr.tagBuf = append(pr.tagBuf, '=', '"')
+		pr.tagBuf = appendEscapedAttr(pr.tagBuf, pr.attrVal)
+		pr.tagBuf = append(pr.tagBuf, '"')
+	}
+
+	if pr.opts.Validate {
+		decl := pr.p.Attrs(sym)
+		for i := range decl {
+			if decl[i].Def.Required && !pr.seen[i] {
+				return fmt.Errorf("missing required attribute %q on %s", decl[i].Def.Attr, info.Tag)
+			}
+		}
+	}
+
+	pr.stack = append(pr.stack, frame{sym: sym, prefix: prefix, state: info.Def.Automaton().Start()})
+	if len(pr.stack) > pr.st.MaxDepth {
+		pr.st.MaxDepth = len(pr.stack)
+	}
+	if pr.win && pr.winDepth == 0 {
+		pr.winDepth = len(pr.stack)
+	}
+
+	if empty {
+		// The decoder synthesizes the end element immediately.
+		if pr.opts.Validate {
+			top := pr.stack[len(pr.stack)-1]
+			if !info.Def.Automaton().Accepting(top.state) {
+				return fmt.Errorf("content of %s is incomplete (model %s)", info.Name, info.Def.Content)
+			}
+		}
+		pr.stack = pr.stack[:len(pr.stack)-1]
+		pr.st.ElementsOut++
+		if pr.win {
+			if canonical {
+				pr.maybeSlide()
+			} else {
+				pr.flushWindowUpTo(tokRel)
+				pr.bw.Write(pr.tagBuf)
+				pr.bw.WriteString("/>")
+				pr.winRestart()
+			}
+			if len(pr.stack) < pr.winDepth {
+				pr.closeWindow()
+				pr.winDepth = 0
+			}
+		} else {
+			pr.bw.Write(pr.tagBuf)
+			pr.bw.WriteString("/>")
+		}
+		return nil
+	}
+
+	pr.open = true
+	if pr.win {
+		if canonical {
+			pr.openInWin = true
+			pr.openRel = (s.pos - s.mark) - 1
+			pr.maybeSlide()
+		} else {
+			pr.flushWindowUpTo(tokRel)
+			pr.bw.Write(pr.tagBuf)
+			pr.openInWin = false
+			pr.winRestart()
+		}
+	} else {
+		pr.bw.Write(pr.tagBuf)
+	}
+	return nil
+}
+
+// endTag handles an end tag; "</" is consumed and the mark is at '<'.
+func (pr *pruner) endTag(tokRel int) error {
+	s := pr.s
+	nameRel := s.pos - s.mark
+	ok, err := s.readName()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errSyntax("expected element name after </")
+	}
+	nameEndRel := s.pos - s.mark
+	preSpace := s.pos - s.mark
+	s.space()
+	spaceLen := (s.pos - s.mark) - preSpace
+	b, ok := s.getc()
+	if !ok {
+		return s.readErr()
+	}
+	if b != '>' {
+		return errSyntax("invalid characters between </" +
+			string(s.buf[s.mark+nameRel:s.mark+nameEndRel]) + " and >")
+	}
+	name := s.buf[s.mark+nameRel : s.mark+nameEndRel]
+	if !s.checkName(name) {
+		return errSyntax("invalid XML name: " + string(name))
+	}
+	prefixB, local, okn := splitName(name)
+	if !okn {
+		return errSyntax("expected element name after </")
+	}
+	if err := pr.flushText(); err != nil {
+		return err
+	}
+	if len(pr.stack) == 0 {
+		return fmt.Errorf("unbalanced end element %s", local)
+	}
+	top := pr.stack[len(pr.stack)-1]
+	info := pr.p.Syms.Info(top.sym)
+	if string(local) != info.Tag || string(prefixB) != top.prefix {
+		return fmt.Errorf("element <%s> closed by </%s>", info.Tag, name)
+	}
+	if pr.opts.Validate && !info.Def.Automaton().Accepting(top.state) {
+		return fmt.Errorf("content of %s is incomplete (model %s)", info.Name, info.Def.Content)
+	}
+	pr.stack = pr.stack[:len(pr.stack)-1]
+	pr.st.ElementsOut++
+
+	if pr.open {
+		pr.open = false
+		if pr.win {
+			pr.flushWindowUpTo(tokRel)
+			pr.bw.WriteString("/>")
+			pr.winRestart()
+		} else {
+			pr.bw.WriteString("/>")
+		}
+		pr.openInWin = false
+	} else if pr.win {
+		if len(prefixB) == 0 && spaceLen == 0 {
+			pr.maybeSlide()
+		} else {
+			pr.flushWindowUpTo(tokRel)
+			pr.bw.WriteString("</")
+			pr.bw.WriteString(info.Tag)
+			pr.bw.WriteByte('>')
+			pr.winRestart()
+		}
+	} else {
+		pr.bw.WriteString("</")
+		pr.bw.WriteString(info.Tag)
+		pr.bw.WriteByte('>')
+	}
+	if pr.win && len(pr.stack) < pr.winDepth {
+		pr.closeWindow()
+		pr.winDepth = 0
+	}
+	return nil
+}
+
+func inEnum(enum []string, v []byte) bool {
+	for _, e := range enum {
+		if string(v) == e {
+			return true
+		}
+	}
+	return false
+}
+
+// writeEscapedText writes text content with the pruner's escaping
+// (matching tree.EscapeText: &, < and > become entities).
+func writeEscapedText(bw *bufio.Writer, b []byte) {
+	last := 0
+	for i := 0; i < len(b); i++ {
+		var esc string
+		switch b[i] {
+		case '&':
+			esc = "&amp;"
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		default:
+			continue
+		}
+		bw.Write(b[last:i])
+		bw.WriteString(esc)
+		last = i + 1
+	}
+	bw.Write(b[last:])
+}
+
+// appendEscapedAttr appends an attribute value with the pruner's
+// escaping (matching tree.EscapeAttr: &, <, > and " become entities).
+func appendEscapedAttr(dst, b []byte) []byte {
+	for i := 0; i < len(b); i++ {
+		switch b[i] {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		case '"':
+			dst = append(dst, "&quot;"...)
+		default:
+			dst = append(dst, b[i])
+		}
+	}
+	return dst
+}

@@ -1,0 +1,653 @@
+// Package scan is a byte-level streaming XML scanner purpose-built for
+// type-based projection (§6 of the paper: pruning fused with parsing).
+// Unlike encoding/xml it materialises nothing: tags, attributes and text
+// are handled as sub-slices of an internal sliding read buffer, element
+// tags resolve through a byte-keyed symbol table, and projector
+// membership is a dense flag array lookup. Subtrees outside π are
+// discarded by a validate-only skip scan that never builds tokens, and
+// subtrees whose reachable closure is inside π can be copied to the
+// output as verbatim byte spans.
+//
+// The scanner mirrors encoding/xml's strict-mode tokenizer behaviour
+// byte for byte (entity rules, \r normalisation, character validation,
+// "]]>" rejection, directive nesting), so the two pruning paths accept
+// the same documents and produce identical output; the differential
+// tests in internal/prune hold it to that.
+package scan
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// defaultBufSize is the initial sliding-buffer size. The buffer grows
+// only when a single token (one text chunk, one tag) exceeds it, so
+// memory stays proportional to token size, not document size.
+const defaultBufSize = 64 << 10
+
+// Scanner is the low-level byte source: a sliding buffer over an
+// io.Reader with mark-based span retention, plus the tokenization
+// primitives shared by the emitting pruner and the skip scanner.
+type Scanner struct {
+	r    io.Reader
+	buf  []byte
+	pos  int // next unread byte
+	end  int // buf[pos:end] holds valid data
+	mark int // earliest byte that must survive a refill; -1 when none
+	rerr error
+
+	// nameCache memoises full XML-name validation for the rare names
+	// that are not pure ASCII (checked by delegating to encoding/xml,
+	// keeping the two paths' notion of a valid name identical).
+	nameCache map[string]bool
+}
+
+// NewScanner returns a scanner reading from r.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{r: r, buf: make([]byte, defaultBufSize), mark: -1}
+}
+
+// Reset reuses the scanner (and its buffer) for a new input.
+func (s *Scanner) Reset(r io.Reader) {
+	s.r = r
+	s.pos, s.end = 0, 0
+	s.mark = -1
+	s.rerr = nil
+}
+
+// Peek returns up to n buffered bytes without consuming them.
+func (s *Scanner) Peek(n int) []byte {
+	for s.end-s.pos < n && s.fill() {
+	}
+	if s.end-s.pos < n {
+		n = s.end - s.pos
+	}
+	return s.buf[s.pos : s.pos+n]
+}
+
+// fill reads more data, compacting the buffer from the mark (or the
+// read position) first. Returns false when no byte was added.
+func (s *Scanner) fill() bool {
+	if s.rerr != nil {
+		return false
+	}
+	base := s.pos
+	if s.mark >= 0 && s.mark < base {
+		base = s.mark
+	}
+	if base > 0 {
+		copy(s.buf, s.buf[base:s.end])
+		s.pos -= base
+		s.end -= base
+		if s.mark >= 0 {
+			s.mark -= base
+		}
+	} else if s.end == len(s.buf) {
+		// A single token larger than the buffer: grow.
+		nb := make([]byte, 2*len(s.buf))
+		copy(nb, s.buf[:s.end])
+		s.buf = nb
+	}
+	for {
+		n, err := s.r.Read(s.buf[s.end:len(s.buf):len(s.buf)])
+		s.end += n
+		if err != nil {
+			s.rerr = err
+			return n > 0
+		}
+		if n > 0 {
+			return true
+		}
+	}
+}
+
+// getc returns the next byte. ok is false at end of input or on a read
+// error; the caller distinguishes via readErr.
+func (s *Scanner) getc() (byte, bool) {
+	if s.pos < s.end {
+		b := s.buf[s.pos]
+		s.pos++
+		return b, true
+	}
+	if s.fill() {
+		b := s.buf[s.pos]
+		s.pos++
+		return b, true
+	}
+	return 0, false
+}
+
+// ungetc backs up one byte. Valid immediately after a successful getc.
+func (s *Scanner) ungetc() { s.pos-- }
+
+// readErr converts the pending read error for a caller that needed more
+// input: io.EOF mid-construct becomes a syntax error, like
+// encoding/xml's mustgetc.
+func (s *Scanner) readErr() error {
+	if s.rerr == io.EOF || s.rerr == nil {
+		return errSyntax("unexpected EOF")
+	}
+	return s.rerr
+}
+
+// atEOF reports whether input ended cleanly.
+func (s *Scanner) atEOF() bool { return s.rerr == io.EOF }
+
+// setMark pins the current position: bytes from here on survive
+// refills, so spans relative to the mark stay valid.
+func (s *Scanner) setMark() { s.mark = s.pos }
+
+// clearMark releases the pin.
+func (s *Scanner) clearMark() { s.mark = -1 }
+
+// marked returns the span from the mark to the current position.
+func (s *Scanner) marked() []byte { return s.buf[s.mark:s.pos] }
+
+// errSyntax builds a syntax error. The message format intentionally
+// resembles encoding/xml's so operators see familiar diagnostics, but
+// the differential contract only requires that the two paths agree on
+// *whether* an input errors, not on the message.
+func errSyntax(msg string) error { return fmt.Errorf("XML syntax error: %s", msg) }
+
+// space skips the tag-level whitespace set (space, CR, LF, tab) —
+// exactly encoding/xml's space(), which is narrower than Unicode
+// whitespace.
+func (s *Scanner) space() {
+	for {
+		b, ok := s.getc()
+		if !ok {
+			return
+		}
+		if b != ' ' && b != '\r' && b != '\n' && b != '\t' {
+			s.ungetc()
+			return
+		}
+	}
+}
+
+// isNameByte mirrors encoding/xml: the single-byte characters allowed
+// inside names. Multi-byte runes are accepted here and validated by
+// checkName.
+func isNameByte(c byte) bool {
+	return 'A' <= c && c <= 'Z' ||
+		'a' <= c && c <= 'z' ||
+		'0' <= c && c <= '9' ||
+		c == '_' || c == ':' || c == '.' || c == '-' ||
+		c >= utf8.RuneSelf
+}
+
+// readName consumes a name (per encoding/xml's readName byte rules).
+// ok is false when no name byte is present. The scanner's buffer slides
+// under refills, so callers recover the name span mark-relative: record
+// rel = s.pos - s.mark before the call (with a mark already held) and
+// slice s.buf[s.mark+rel : s.pos] after it.
+func (s *Scanner) readName() (ok bool, err error) {
+	b, got := s.getc()
+	if !got {
+		return false, s.readErr()
+	}
+	if !isNameByte(b) {
+		s.ungetc()
+		return false, nil
+	}
+	for {
+		b, got = s.getc()
+		if !got {
+			return false, s.readErr()
+		}
+		if !isNameByte(b) {
+			s.ungetc()
+			return true, nil
+		}
+	}
+}
+
+// checkName validates a scanned name against the full XML Name
+// production, the way encoding/xml's isName does. ASCII names are
+// checked directly; names with multi-byte runes are validated by
+// running them through encoding/xml itself (memoised — such names are
+// vanishingly rare on real documents).
+func (s *Scanner) checkName(name []byte) bool {
+	if len(name) == 0 {
+		return false
+	}
+	c := name[0]
+	if c < utf8.RuneSelf {
+		if !('A' <= c && c <= 'Z' || 'a' <= c && c <= 'z' || c == '_' || c == ':') {
+			return false
+		}
+		ascii := true
+		for _, b := range name[1:] {
+			if b >= utf8.RuneSelf {
+				ascii = false
+				break
+			}
+		}
+		if ascii {
+			return true // tail bytes already passed isNameByte
+		}
+	}
+	key := string(name)
+	if v, ok := s.nameCache[key]; ok {
+		return v
+	}
+	dec := xml.NewDecoder(strings.NewReader("<" + key + "/>"))
+	_, err := dec.Token()
+	if s.nameCache == nil {
+		s.nameCache = make(map[string]bool)
+	}
+	s.nameCache[key] = err == nil
+	return err == nil
+}
+
+// splitName applies encoding/xml's nsname rule to a full name: more
+// than one colon is malformed; one colon with non-empty halves splits
+// off the prefix; otherwise the whole name is the local name (and the
+// prefix is empty, even when the name contains a colon at an edge).
+func splitName(name []byte) (prefix, local []byte, ok bool) {
+	first := -1
+	n := 0
+	for i, b := range name {
+		if b == ':' {
+			if first < 0 {
+				first = i
+			}
+			n++
+		}
+	}
+	if n > 1 {
+		return nil, nil, false
+	}
+	if n == 1 && first > 0 && first < len(name)-1 {
+		return name[:first], name[first+1:], true
+	}
+	return nil, name, true
+}
+
+// isXMLNSAttr reports whether a split attribute name is a namespace
+// declaration, exactly as the decoder-based pruner decides it: the
+// prefix is "xmlns" or the local name is "xmlns".
+func isXMLNSAttr(prefix, local []byte) bool {
+	return string(prefix) == "xmlns" || string(local) == "xmlns"
+}
+
+// isInCharacterRange is the XML Char production, as in encoding/xml.
+func isInCharacterRange(r rune) bool {
+	return r == 0x09 ||
+		r == 0x0A ||
+		r == 0x0D ||
+		r >= 0x20 && r <= 0xD7FF ||
+		r >= 0xE000 && r <= 0xFFFD ||
+		r >= 0x10000 && r <= 0x10FFFF
+}
+
+// decodeEntity consumes a character reference after its '&' and returns
+// the decoded rune, mirroring encoding/xml's strict handling: the five
+// predefined entities, decimal and hex character references (values
+// above MaxRune rejected, surrogates replaced like string(rune)
+// conversion), anything else is a syntax error.
+func (s *Scanner) decodeEntity() (rune, error) {
+	b, ok := s.getc()
+	if !ok {
+		return 0, s.readErr()
+	}
+	if b == '#' {
+		base := 10
+		b, ok = s.getc()
+		if !ok {
+			return 0, s.readErr()
+		}
+		if b == 'x' {
+			base = 16
+			b, ok = s.getc()
+			if !ok {
+				return 0, s.readErr()
+			}
+		}
+		var n uint64
+		digits := 0
+		for {
+			var v byte
+			switch {
+			case '0' <= b && b <= '9':
+				v = b - '0'
+			case base == 16 && 'a' <= b && b <= 'f':
+				v = b - 'a' + 10
+			case base == 16 && 'A' <= b && b <= 'F':
+				v = b - 'A' + 10
+			default:
+				goto done
+			}
+			digits++
+			if n <= 1<<32 { // saturate; anything this big is already invalid
+				n = n*uint64(base) + uint64(v)
+			}
+			b, ok = s.getc()
+			if !ok {
+				return 0, s.readErr()
+			}
+		}
+	done:
+		if b != ';' {
+			s.ungetc()
+			return 0, errSyntax("invalid character entity (no semicolon)")
+		}
+		if digits == 0 || n > unicode.MaxRune {
+			return 0, errSyntax("invalid character entity")
+		}
+		r := rune(n)
+		if !utf8.ValidRune(r) {
+			r = utf8.RuneError // string(rune) conversion semantics
+		}
+		return r, nil
+	}
+	// Named entity: collect name bytes into a small local buffer (the
+	// recognised names are at most four bytes; anything longer errors
+	// anyway), require ';', and accept only the five predefined names —
+	// custom <!ENTITY> definitions are not resolved, exactly like
+	// encoding/xml with a nil Entity map in strict mode.
+	var name [8]byte
+	n := 0
+	for isNameByte(b) {
+		if n < len(name) {
+			name[n] = b
+			n++
+		} else {
+			n = len(name) + 1 // too long: cannot be predefined
+		}
+		b, ok = s.getc()
+		if !ok {
+			return 0, s.readErr()
+		}
+	}
+	if b != ';' {
+		s.ungetc()
+		return 0, errSyntax("invalid character entity (no semicolon)")
+	}
+	if n <= len(name) {
+		switch string(name[:n]) {
+		case "lt":
+			return '<', nil
+		case "gt":
+			return '>', nil
+		case "amp":
+			return '&', nil
+		case "apos":
+			return '\'', nil
+		case "quot":
+			return '"', nil
+		}
+	}
+	return 0, errSyntax("invalid character entity")
+}
+
+// skipComment consumes a comment after "<!--", enforcing the strict
+// "--" rule: the only legal occurrence of "--" is the closing "-->".
+func (s *Scanner) skipComment() error {
+	var b0, b1 byte
+	for {
+		b, ok := s.getc()
+		if !ok {
+			return s.readErr()
+		}
+		if b0 == '-' && b1 == '-' {
+			if b != '>' {
+				return errSyntax(`invalid sequence "--" not allowed in comments`)
+			}
+			return nil
+		}
+		b0, b1 = b1, b
+	}
+}
+
+// skipDirective consumes a <!DOCTYPE ...>-style directive after its
+// "<!" and first byte, reproducing encoding/xml's nesting rules: quoted
+// angle brackets are ignored, nested "<...>" groups tracked by depth,
+// and comments inside the directive skipped.
+func (s *Scanner) skipDirective() error {
+	inquote := byte(0)
+	depth := 0
+	for {
+		b, ok := s.getc()
+		if !ok {
+			return s.readErr()
+		}
+		if inquote == 0 && b == '>' && depth == 0 {
+			return nil
+		}
+	handle:
+		switch {
+		case b == inquote:
+			inquote = 0
+		case inquote != 0:
+			// quoted: no special meaning
+		case b == '\'' || b == '"':
+			inquote = b
+		case b == '>' && depth > 0:
+			depth--
+		case b == '<':
+			// "<!--" opens a comment inside the directive; any other
+			// "<" increases nesting.
+			lead := [3]byte{'!', '-', '-'}
+			for i := 0; i < 3; i++ {
+				if b, ok = s.getc(); !ok {
+					return s.readErr()
+				}
+				if b != lead[i] {
+					depth++
+					goto handle
+				}
+			}
+			var b0, b1 byte
+			for {
+				if b, ok = s.getc(); !ok {
+					return s.readErr()
+				}
+				if b0 == '-' && b1 == '-' && b == '>' {
+					break
+				}
+				b0, b1 = b1, b
+			}
+		}
+	}
+}
+
+// skipPI consumes a processing instruction after "<?": the target name
+// is validated, and an <?xml?> declaration gets the same version and
+// encoding checks as encoding/xml (no CharsetReader: any non-UTF-8
+// declared encoding is an error — Stream routes byte-order-marked
+// UTF-16/32 inputs to the decoder path up front, and both paths reject
+// declared non-UTF-8 encodings). The caller must not hold a mark.
+func (s *Scanner) skipPI() error {
+	s.setMark()
+	ok, err := s.readName()
+	if err != nil {
+		s.clearMark()
+		return err
+	}
+	if !ok || !s.checkName(s.marked()) {
+		s.clearMark()
+		return errSyntax("expected target name after <?")
+	}
+	isXMLDecl := string(s.marked()) == "xml"
+	s.space()
+	if !isXMLDecl {
+		s.clearMark()
+		var b0 byte
+		for {
+			b, got := s.getc()
+			if !got {
+				return s.readErr()
+			}
+			if b0 == '?' && b == '>' {
+				return nil
+			}
+			b0 = b
+		}
+	}
+	contentRel := s.pos - s.mark
+	var b0 byte
+	for {
+		b, got := s.getc()
+		if !got {
+			s.clearMark()
+			return s.readErr()
+		}
+		if b0 == '?' && b == '>' {
+			break
+		}
+		b0 = b
+	}
+	content := string(s.buf[s.mark+contentRel : s.pos-2])
+	s.clearMark()
+	if ver := procInstParam("version", content); ver != "" && ver != "1.0" {
+		return fmt.Errorf("xml: unsupported version %q; only version 1.0 is supported", ver)
+	}
+	if enc := procInstParam("encoding", content); enc != "" && !strings.EqualFold(enc, "utf-8") {
+		return fmt.Errorf("xml: encoding %q declared but the input is not UTF-8", enc)
+	}
+	return nil
+}
+
+// procInstParam extracts a param="..." value from an <?xml?>
+// declaration, as encoding/xml's procInst does.
+func procInstParam(param, s string) string {
+	param = param + "="
+	lenp := len(param)
+	i := 0
+	var sep byte
+	for i < len(s) {
+		sub := s[i:]
+		k := strings.Index(sub, param)
+		if k < 0 || lenp+k >= len(sub) {
+			return ""
+		}
+		i += lenp + k + 1
+		if c := sub[lenp+k]; c == '\'' || c == '"' {
+			sep = c
+			break
+		}
+	}
+	if sep == 0 {
+		return ""
+	}
+	j := strings.IndexByte(s[i:], sep)
+	if j < 0 {
+		return ""
+	}
+	return s[i : i+j]
+}
+
+// textInfo describes a decoded text chunk.
+type textInfo struct {
+	// ws is true when every decoded rune is Unicode whitespace (the
+	// pruner drops such chunks, like the tree parser's TrimSpace test).
+	ws bool
+	// verbatim is true when the chunk's raw input bytes are already in
+	// canonical output form: no entity was decoded, no \r was
+	// normalised, and no '>' occurs (the escaper would rewrite it).
+	// Raw-copy windows may pass such chunks through untouched.
+	verbatim bool
+}
+
+// text decodes character data into dst (appending) and returns the
+// extended slice. quote is -1 for element content, or the quote byte
+// for an attribute value; cdata selects CDATA-section rules. The
+// behaviour mirrors encoding/xml's Decoder.text in strict mode:
+// predefined and numeric entities, \r and \r\n normalised to \n, "]]>"
+// rejected in unquoted chardata, '<' rejected inside quoted values, and
+// the decoded result checked for UTF-8 validity and the XML Char range.
+func (s *Scanner) text(dst []byte, quote int, cdata bool) ([]byte, textInfo, error) {
+	info := textInfo{verbatim: true}
+	base := len(dst)
+	var b0, b1 byte
+	for {
+		b, ok := s.getc()
+		if !ok {
+			if cdata {
+				if !s.atEOF() {
+					return dst, info, s.rerr
+				}
+				return dst, info, errSyntax("unexpected EOF in CDATA section")
+			}
+			break
+		}
+		if quote < 0 && b0 == ']' && b1 == ']' && b == '>' {
+			if cdata {
+				dst = dst[:len(dst)-2] // chop the ]] already written
+				break
+			}
+			return dst, info, errSyntax("unescaped ]]> not in CDATA section")
+		}
+		if b == '<' && !cdata {
+			if quote >= 0 {
+				return dst, info, errSyntax("unescaped < inside quoted string")
+			}
+			s.ungetc()
+			break
+		}
+		if quote >= 0 && b == byte(quote) {
+			break
+		}
+		if b == '&' && !cdata {
+			r, err := s.decodeEntity()
+			if err != nil {
+				return dst, info, err
+			}
+			dst = utf8.AppendRune(dst, r)
+			info.verbatim = false
+			b0, b1 = 0, 0
+			continue
+		}
+		if b == '>' {
+			// Legal input, but the output escaper rewrites it.
+			info.verbatim = false
+		}
+		if b == '\r' {
+			dst = append(dst, '\n')
+			info.verbatim = false
+		} else if b1 == '\r' && b == '\n' {
+			// Skip \n after \r — the \n was already written.
+		} else {
+			dst = append(dst, b)
+		}
+		b0, b1 = b1, b
+	}
+	// Validate the decoded bytes: UTF-8 and the XML Char production,
+	// computing whitespace-ness in the same pass.
+	info.ws = true
+	buf := dst[base:]
+	for len(buf) > 0 {
+		r, size := utf8.DecodeRune(buf)
+		if r == utf8.RuneError && size == 1 {
+			return dst, info, errSyntax("invalid UTF-8")
+		}
+		buf = buf[size:]
+		if !isInCharacterRange(r) {
+			return dst, info, errSyntax(fmt.Sprintf("illegal character code %U", r))
+		}
+		if info.ws && !unicode.IsSpace(r) {
+			info.ws = false
+		}
+	}
+	return dst, info, nil
+}
+
+// expectCDATA consumes the "[CDATA[" tail after "<![".
+func (s *Scanner) expectCDATA() error {
+	const tail = "CDATA["
+	for i := 0; i < len(tail); i++ {
+		b, ok := s.getc()
+		if !ok {
+			return s.readErr()
+		}
+		if b != tail[i] {
+			return errSyntax("invalid <![ sequence")
+		}
+	}
+	return nil
+}
