@@ -230,9 +230,11 @@ func (pr *pruner) chunk(tokRel int, cdata bool) error {
 	pr.runPending = true
 	if pr.win {
 		top := &pr.stack[depth-1]
-		if info.verbatim && pr.p.Flags(top.sym)&dtd.KeepText != 0 {
-			// The raw bytes are exactly the canonical output: keep them
-			// in the window and do not duplicate them in textBuf.
+		if info.verbatim && prevLen == 0 && pr.p.Flags(top.sym)&dtd.KeepText != 0 {
+			// The raw bytes are exactly the canonical output, and no
+			// earlier decoded text from this run is pending in textBuf
+			// (which a later window flush would reorder behind these
+			// bytes): keep them in the window, not in textBuf.
 			pr.closeOpen()
 			pr.textBuf = out[:prevLen]
 			pr.maybeSlide()

@@ -92,7 +92,9 @@ func (s *Scanner) fill() bool {
 		copy(nb, s.buf[:s.end])
 		s.buf = nb
 	}
-	for {
+	// io.Reader permits (0, nil); bound the retries so a pathological
+	// reader errors instead of hanging the prune (as bufio does).
+	for i := 0; i < 100; i++ {
 		n, err := s.r.Read(s.buf[s.end:len(s.buf):len(s.buf)])
 		s.end += n
 		if err != nil {
@@ -103,6 +105,8 @@ func (s *Scanner) fill() bool {
 			return true
 		}
 	}
+	s.rerr = io.ErrNoProgress
+	return false
 }
 
 // getc returns the next byte. ok is false at end of input or on a read

@@ -2,6 +2,7 @@ package scan
 
 import (
 	"bufio"
+	"io"
 	"strings"
 	"testing"
 
@@ -211,3 +212,26 @@ func (o oneByteReader) Read(p []byte) (int, error) {
 }
 
 func iotest(r *strings.Reader) oneByteReader { return oneByteReader{r} }
+
+// noProgressReader returns (0, nil) forever after its content runs out,
+// which io.Reader permits; the scanner must error rather than spin.
+type noProgressReader struct{ r *strings.Reader }
+
+func (n noProgressReader) Read(p []byte) (int, error) {
+	if n.r.Len() == 0 {
+		return 0, nil
+	}
+	return n.r.Read(p)
+}
+
+func TestNoProgressReaderErrors(t *testing.T) {
+	d, p := setup(t, fullPi)
+	var sb strings.Builder
+	bw := bufio.NewWriter(&sb)
+	s := NewScanner(noProgressReader{strings.NewReader(`<bib><book isbn="1">`)})
+	pr := &pruner{s: s, d: d, p: p, bw: bw, opts: Options{}}
+	err := pr.run()
+	if err != io.ErrNoProgress {
+		t.Fatalf("want io.ErrNoProgress, got %v", err)
+	}
+}
