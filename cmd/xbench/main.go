@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"xmlproj/internal/bench"
@@ -105,16 +106,34 @@ func runStreamPrune(factor float64, seed int64, out string, stdout, stderr io.Wr
 		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
+	// Write-then-rename so a crash or full disk mid-write never leaves a
+	// truncated report where CI expects a valid one.
+	tmp, err := os.CreateTemp(filepath.Dir(out), filepath.Base(out)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), out); err != nil {
+		os.Remove(tmp.Name())
 		return err
 	}
 	fmt.Fprintf(stdout, "stream prune benchmark (XMark factor %g, %d bytes)\n", rep.Factor, rep.DocBytes)
-	fmt.Fprintf(stdout, "%-10s %-8s %12s %10s %12s\n", "projector", "engine", "ns/op", "MB/s", "allocs/op")
+	fmt.Fprintf(stdout, "%-10s %-8s %-9s %12s %10s %12s\n", "projector", "engine", "validate", "ns/op", "MB/s", "allocs/op")
 	for _, c := range rep.Cases {
-		fmt.Fprintf(stdout, "%-10s %-8s %12d %10.2f %12d\n", c.Projector, c.Engine, c.NsPerOp, c.MBPerSec, c.AllocsPerOp)
+		fmt.Fprintf(stdout, "%-10s %-8s %-9v %12d %10.2f %12d\n", c.Projector, c.Engine, c.Validate, c.NsPerOp, c.MBPerSec, c.AllocsPerOp)
 	}
 	fmt.Fprintf(stdout, "low-selectivity: scanner is %.2fx faster, %.0fx fewer allocations\n",
 		rep.SpeedupLow, rep.AllocRatioLow)
+	fmt.Fprintf(stdout, "validated: scanner is %.2fx faster than decoder; validation overhead %.2fx (low), %.2fx (mid)\n",
+		rep.SpeedupLowValidated, rep.ValidateOverheadLow, rep.ValidateOverheadMid)
 	fmt.Fprintf(stderr, "xbench: wrote %s\n", out)
 	return nil
 }

@@ -204,22 +204,28 @@ type EngineMetrics struct {
 	// BytesOut total the document bytes streamed.
 	DocsPruned, PruneErrors int64
 	BytesIn, BytesOut       int64
+	// ProjectionHits / ProjectionMisses count compiled-projection cache
+	// lookups: PruneBatch compiles π against the schema's symbol table
+	// once per (schema, π) workload and reuses it across batches.
+	ProjectionHits, ProjectionMisses int64
 }
 
 // Metrics returns a snapshot of the engine's counters.
 func (eng *Engine) Metrics() EngineMetrics {
 	m := eng.e.Metrics()
 	return EngineMetrics{
-		CacheHits:     m.CacheHits,
-		CacheMisses:   m.CacheMisses,
-		Coalesced:     m.Coalesced,
-		Evictions:     m.Evictions,
-		CacheEntries:  m.CacheEntries,
-		Inferences:    m.Inferences,
-		InferenceTime: m.InferenceTime,
-		DocsPruned:    m.DocsPruned,
-		PruneErrors:   m.PruneErrors,
-		BytesIn:       m.BytesIn,
-		BytesOut:      m.BytesOut,
+		CacheHits:        m.CacheHits,
+		CacheMisses:      m.CacheMisses,
+		Coalesced:        m.Coalesced,
+		Evictions:        m.Evictions,
+		CacheEntries:     m.CacheEntries,
+		Inferences:       m.Inferences,
+		InferenceTime:    m.InferenceTime,
+		DocsPruned:       m.DocsPruned,
+		PruneErrors:      m.PruneErrors,
+		BytesIn:          m.BytesIn,
+		BytesOut:         m.BytesOut,
+		ProjectionHits:   m.ProjectionHits,
+		ProjectionMisses: m.ProjectionMisses,
 	}
 }

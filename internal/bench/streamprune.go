@@ -14,7 +14,7 @@ import (
 type StreamPruneCase struct {
 	// Projector names the π shape: "low" keeps a thin slice (most
 	// subtrees skip-scanned), "mid" a moderate one, "full" everything
-	// (the raw-copy fast path when validation is off).
+	// (the raw-copy fast path, exercised with and without validation).
 	Projector string `json:"projector"`
 	// Engine is "scanner" (internal/scan) or "decoder" (encoding/xml).
 	Engine string `json:"engine"`
@@ -35,9 +35,18 @@ type StreamPruneReport struct {
 	DocBytes int64   `json:"doc_bytes"`
 	// SpeedupLow and AllocRatioLow compare scanner vs decoder on the
 	// low-selectivity projector: throughput ratio and allocation ratio.
-	SpeedupLow    float64           `json:"speedup_low"`
-	AllocRatioLow float64           `json:"alloc_ratio_low"`
-	Cases         []StreamPruneCase `json:"cases"`
+	SpeedupLow    float64 `json:"speedup_low"`
+	AllocRatioLow float64 `json:"alloc_ratio_low"`
+	// SpeedupLowValidated compares the validating scanner against the
+	// validating decoder on the low projector.
+	SpeedupLowValidated float64 `json:"speedup_low_validated"`
+	// ValidateOverheadLow / ValidateOverheadMid are the scanner's
+	// unvalidated-to-validated throughput ratios on the low and mid
+	// projectors: 1.0 means fused validation is free, 1.25 means the
+	// validating pass runs 25% slower.
+	ValidateOverheadLow float64           `json:"validate_overhead_low"`
+	ValidateOverheadMid float64           `json:"validate_overhead_mid"`
+	Cases               []StreamPruneCase `json:"cases"`
 }
 
 // StreamPruneProjectors returns the benchmark π shapes over the XMark
@@ -71,53 +80,63 @@ func RunStreamPrune(factor float64, seed int64) (*StreamPruneReport, error) {
 		Eng  prune.Engine
 	}{{"scanner", prune.EngineScanner}, {"decoder", prune.EngineDecoder}}
 
-	var lowScanner, lowDecoder *StreamPruneCase
 	for _, p := range StreamPruneProjectors(w.D) {
 		for _, e := range engines {
-			pi, eng := p.Pi, e.Eng
-			var stats prune.Stats
-			var serr error
-			r := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					stats, serr = prune.Stream(io.Discard, bytes.NewReader(w.DocBytes), w.D, pi, prune.StreamOptions{Engine: eng})
-					if serr != nil {
-						b.Fatal(serr)
+			for _, validate := range []bool{false, true} {
+				pi, eng, v := p.Pi, e.Eng, validate
+				var stats prune.Stats
+				var serr error
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						stats, serr = prune.Stream(io.Discard, bytes.NewReader(w.DocBytes), w.D, pi, prune.StreamOptions{Engine: eng, Validate: v})
+						if serr != nil {
+							b.Fatal(serr)
+						}
 					}
+				})
+				if serr != nil {
+					return nil, serr
 				}
-			})
-			if serr != nil {
-				return nil, serr
-			}
-			c := StreamPruneCase{
-				Projector:   p.Name,
-				Engine:      e.Name,
-				NsPerOp:     r.NsPerOp(),
-				AllocsPerOp: r.AllocsPerOp(),
-				BytesPerOp:  r.AllocedBytesPerOp(),
-				BytesOut:    stats.BytesOut,
-			}
-			if r.T > 0 {
-				c.MBPerSec = float64(int64(r.N)*rep.DocBytes) / r.T.Seconds() / 1e6
-			}
-			rep.Cases = append(rep.Cases, c)
-			if p.Name == "low" {
-				switch e.Name {
-				case "scanner":
-					lowScanner = &rep.Cases[len(rep.Cases)-1]
-				case "decoder":
-					lowDecoder = &rep.Cases[len(rep.Cases)-1]
+				c := StreamPruneCase{
+					Projector:   p.Name,
+					Engine:      e.Name,
+					Validate:    v,
+					NsPerOp:     r.NsPerOp(),
+					AllocsPerOp: r.AllocsPerOp(),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					BytesOut:    stats.BytesOut,
 				}
+				if r.T > 0 {
+					c.MBPerSec = float64(int64(r.N)*rep.DocBytes) / r.T.Seconds() / 1e6
+				}
+				rep.Cases = append(rep.Cases, c)
 			}
 		}
 	}
-	if lowScanner != nil && lowDecoder != nil {
-		if lowDecoder.MBPerSec > 0 {
-			rep.SpeedupLow = lowScanner.MBPerSec / lowDecoder.MBPerSec
+	find := func(proj, eng string, validate bool) *StreamPruneCase {
+		for i := range rep.Cases {
+			c := &rep.Cases[i]
+			if c.Projector == proj && c.Engine == eng && c.Validate == validate {
+				return c
+			}
 		}
-		if lowScanner.AllocsPerOp > 0 {
-			rep.AllocRatioLow = float64(lowDecoder.AllocsPerOp) / float64(lowScanner.AllocsPerOp)
-		}
+		return nil
 	}
+	ratio := func(num, den *StreamPruneCase) float64 {
+		if num == nil || den == nil || den.MBPerSec <= 0 {
+			return 0
+		}
+		return num.MBPerSec / den.MBPerSec
+	}
+	lowScanner := find("low", "scanner", false)
+	lowDecoder := find("low", "decoder", false)
+	rep.SpeedupLow = ratio(lowScanner, lowDecoder)
+	if lowScanner != nil && lowDecoder != nil && lowScanner.AllocsPerOp > 0 {
+		rep.AllocRatioLow = float64(lowDecoder.AllocsPerOp) / float64(lowScanner.AllocsPerOp)
+	}
+	rep.SpeedupLowValidated = ratio(find("low", "scanner", true), find("low", "decoder", true))
+	rep.ValidateOverheadLow = ratio(lowScanner, find("low", "scanner", true))
+	rep.ValidateOverheadMid = ratio(find("mid", "scanner", false), find("mid", "scanner", true))
 	return rep, nil
 }

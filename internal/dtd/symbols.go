@@ -17,9 +17,15 @@ type SymInfo struct {
 	Name Name
 	Def  *Def
 	Tag  string
+	// Dense is the element's content-model automaton recompiled over
+	// symbol IDs (see DenseDFA); validating scanners walk it instead of
+	// the map-based DFA.
+	Dense *DenseDFA
 }
 
-// Symbols returns the cached symbol table for the grammar.
+// Symbols returns the cached symbol table for the grammar, including
+// the dense content-model automata (compiled here, once per DTD, so
+// every prune shares them).
 func (d *DTD) Symbols() *Symbols {
 	d.symOnce.Do(func() {
 		s := &Symbols{byTag: make(map[string]int32, len(d.ByTag))}
@@ -31,6 +37,7 @@ func (d *DTD) Symbols() *Symbols {
 			s.byTag[def.Tag] = int32(len(s.infos))
 			s.infos = append(s.infos, SymInfo{Name: n, Def: def, Tag: def.Tag})
 		}
+		s.compileDense(d)
 		d.syms = s
 	})
 	return d.syms

@@ -58,6 +58,10 @@ type Engine struct {
 	idx    map[Key]*list.Element
 	flight map[Key]*flightCall
 
+	// proj caches compiled projections (π against a DTD's symbol table)
+	// so batches and repeated prunes of one workload compile π once.
+	proj *projCache
+
 	m counters
 }
 
@@ -81,6 +85,7 @@ func New(opts Options) *Engine {
 		lru:    list.New(),
 		idx:    make(map[Key]*list.Element),
 		flight: make(map[Key]*flightCall),
+		proj:   newProjCache(),
 	}
 }
 

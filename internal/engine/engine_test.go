@@ -318,3 +318,78 @@ func TestFingerprint(t *testing.T) {
 		t.Fatal("fingerprint not deterministic")
 	}
 }
+
+// TestProjectionCache: a batch compiles π against the symbol table once;
+// later batches for the same (DTD, π) workload reuse the compilation,
+// and the same name set built independently fingerprints to the same
+// cache entry.
+func TestProjectionCache(t *testing.T) {
+	d := bib(t)
+	e := New(Options{})
+	pi := titleProjector(t, d)
+
+	jobs, _ := batchJobs(8)
+	if _, _, err := e.PruneBatch(context.Background(), d, pi, jobs, BatchOptions{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.ProjectionMisses != 1 || m.ProjectionHits != 0 {
+		t.Fatalf("first batch: projection hits=%d misses=%d", m.ProjectionHits, m.ProjectionMisses)
+	}
+
+	jobs2, _ := batchJobs(8)
+	if _, _, err := e.PruneBatch(context.Background(), d, pi, jobs2, BatchOptions{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	m = e.Metrics()
+	if m.ProjectionMisses != 1 || m.ProjectionHits != 1 {
+		t.Fatalf("second batch: projection hits=%d misses=%d", m.ProjectionHits, m.ProjectionMisses)
+	}
+
+	// An independently built but equal name set is the same workload.
+	cp := dtd.NameSet{}
+	for n := range pi {
+		cp[n] = struct{}{}
+	}
+	if e.projectionFor(d, cp) != e.projectionFor(d, pi) {
+		t.Fatal("equal name sets compiled to distinct projections")
+	}
+
+	// A different π is a different entry.
+	e.projectionFor(d, dtd.NewNameSet("bib"))
+	m = e.Metrics()
+	if m.ProjectionMisses != 2 {
+		t.Fatalf("distinct π did not miss: %+v", m)
+	}
+}
+
+// TestProjectionForSingleFlight: concurrent cold requests for one
+// workload share a single compilation.
+func TestProjectionForSingleFlight(t *testing.T) {
+	d := bib(t)
+	e := New(Options{})
+	pi := titleProjector(t, d)
+
+	var wg sync.WaitGroup
+	got := make([]*dtd.Projection, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = e.projectionFor(d, pi)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent callers saw distinct projections")
+		}
+	}
+	m := e.Metrics()
+	if m.ProjectionMisses != 1 {
+		t.Fatalf("want exactly one compilation, got %d misses", m.ProjectionMisses)
+	}
+	if m.ProjectionHits != 15 {
+		t.Fatalf("want 15 hits (cached or coalesced), got %d", m.ProjectionHits)
+	}
+}

@@ -18,6 +18,8 @@ type counters struct {
 	pruneErrors atomic.Int64
 	bytesIn     atomic.Int64
 	bytesOut    atomic.Int64
+	projHits    atomic.Int64
+	projMisses  atomic.Int64
 }
 
 // Metrics is a point-in-time snapshot of the engine's counters.
@@ -38,6 +40,10 @@ type Metrics struct {
 	// BytesIn / BytesOut total the document bytes read and written by
 	// batch pruning.
 	BytesIn, BytesOut int64
+	// ProjectionHits / ProjectionMisses count compiled-projection cache
+	// lookups (a miss compiles π against the DTD's symbol table; calls
+	// that piggyback on an in-flight compilation count as hits).
+	ProjectionHits, ProjectionMisses int64
 }
 
 // Metrics returns a snapshot. Individual counters are each read
@@ -45,16 +51,18 @@ type Metrics struct {
 // fine for observability.
 func (e *Engine) Metrics() Metrics {
 	return Metrics{
-		CacheHits:     e.m.hits.Load(),
-		CacheMisses:   e.m.misses.Load(),
-		Coalesced:     e.m.coalesced.Load(),
-		Evictions:     e.m.evictions.Load(),
-		CacheEntries:  e.CacheLen(),
-		Inferences:    e.m.inferences.Load(),
-		InferenceTime: time.Duration(e.m.inferNanos.Load()),
-		DocsPruned:    e.m.docsPruned.Load(),
-		PruneErrors:   e.m.pruneErrors.Load(),
-		BytesIn:       e.m.bytesIn.Load(),
-		BytesOut:      e.m.bytesOut.Load(),
+		CacheHits:        e.m.hits.Load(),
+		CacheMisses:      e.m.misses.Load(),
+		Coalesced:        e.m.coalesced.Load(),
+		Evictions:        e.m.evictions.Load(),
+		CacheEntries:     e.CacheLen(),
+		Inferences:       e.m.inferences.Load(),
+		InferenceTime:    time.Duration(e.m.inferNanos.Load()),
+		DocsPruned:       e.m.docsPruned.Load(),
+		PruneErrors:      e.m.pruneErrors.Load(),
+		BytesIn:          e.m.bytesIn.Load(),
+		BytesOut:         e.m.bytesOut.Load(),
+		ProjectionHits:   e.m.projHits.Load(),
+		ProjectionMisses: e.m.projMisses.Load(),
 	}
 }

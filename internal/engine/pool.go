@@ -89,6 +89,10 @@ func (e *Engine) PruneBatch(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, job
 		return results, BatchStats{}, nil
 	}
 
+	// Compile π once for the whole batch (cached across batches too):
+	// every worker shares the same immutable *dtd.Projection.
+	proj := e.projectionFor(d, pi)
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -99,7 +103,7 @@ func (e *Engine) PruneBatch(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, job
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = e.runJob(ctx, d, pi, jobs[i], opts)
+				results[i] = e.runJob(ctx, d, pi, proj, jobs[i], opts)
 				if results[i].Err != nil && opts.FailFast {
 					cancel()
 				}
@@ -159,14 +163,14 @@ feed:
 }
 
 // runJob prunes one document, accounting bytes and metrics.
-func (e *Engine) runJob(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, job Job, opts BatchOptions) JobResult {
+func (e *Engine) runJob(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, proj *dtd.Projection, job Job, opts BatchOptions) JobResult {
 	res := JobResult{Name: job.Name}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 	} else {
 		src := &countingReader{r: job.Src, ctx: ctx}
 		start := time.Now()
-		res.Stats, res.Err = prune.Stream(job.Dst, src, d, pi, prune.StreamOptions{Validate: opts.Validate})
+		res.Stats, res.Err = prune.Stream(job.Dst, src, d, pi, prune.StreamOptions{Validate: opts.Validate, Projection: proj})
 		res.Elapsed = time.Since(start)
 		res.BytesIn = src.n
 		// A prune aborted by cancellation reports the context error, not

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+
+	"xmlproj/internal/dtd"
+)
+
+// projKey identifies a compiled projection: the grammar by identity (a
+// *dtd.DTD is immutable after parsing, and its symbol table — which the
+// compiled projection indexes into — is bound to that same pointer) and
+// π by fingerprint.
+type projKey struct {
+	d  *dtd.DTD
+	pi string
+}
+
+// projEntry is one cached compiled projection.
+type projEntry struct {
+	key projKey
+	p   *dtd.Projection
+}
+
+// projFlight is one in-flight compilation; concurrent requests for the
+// same key block on done and share p. Compilation cannot fail, so there
+// is no error to share.
+type projFlight struct {
+	done chan struct{}
+	p    *dtd.Projection
+}
+
+// projCache caches compiled projections with the same LRU +
+// single-flight discipline as the projector cache: a 10k-document batch
+// compiles π against the symbol table once, and concurrent batches for
+// the same workload share that one compilation.
+type projCache struct {
+	mu     sync.Mutex
+	lru    *list.List // *projEntry, most recently used first
+	idx    map[projKey]*list.Element
+	flight map[projKey]*projFlight
+}
+
+func newProjCache() *projCache {
+	return &projCache{
+		lru:    list.New(),
+		idx:    make(map[projKey]*list.Element),
+		flight: make(map[projKey]*projFlight),
+	}
+}
+
+// projectionFor returns the compiled form of π against d, compiling on a
+// cache miss. Calls that piggyback on another caller's in-flight
+// compilation count as hits.
+func (e *Engine) projectionFor(d *dtd.DTD, pi dtd.NameSet) *dtd.Projection {
+	c := e.proj
+	key := projKey{d: d, pi: piFingerprint(pi)}
+	c.mu.Lock()
+	if el, ok := c.idx[key]; ok {
+		c.lru.MoveToFront(el)
+		p := el.Value.(*projEntry).p
+		c.mu.Unlock()
+		e.m.projHits.Add(1)
+		return p
+	}
+	if f, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		e.m.projHits.Add(1)
+		return f.p
+	}
+	f := &projFlight{done: make(chan struct{})}
+	c.flight[key] = f
+	c.mu.Unlock()
+
+	e.m.projMisses.Add(1)
+	f.p = d.CompileProjection(pi)
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if cap := e.cacheCap(); cap > 0 {
+		c.idx[key] = c.lru.PushFront(&projEntry{key: key, p: f.p})
+		for c.lru.Len() > cap {
+			cold := c.lru.Back()
+			c.lru.Remove(cold)
+			delete(c.idx, cold.Value.(*projEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.p
+}
+
+// piFingerprint canonicalises π: names sorted, then hashed
+// length-delimited, so equal sets fingerprint equally regardless of
+// iteration order.
+func piFingerprint(pi dtd.NameSet) string {
+	names := make([]string, 0, len(pi))
+	for n := range pi {
+		names = append(names, string(n))
+	}
+	sort.Strings(names)
+	return Fingerprint(names...)
+}

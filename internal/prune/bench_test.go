@@ -12,7 +12,7 @@ import (
 // benchProjectors are the π shapes the streaming pruner meets in
 // practice: a low-selectivity projector keeping a thin slice of the
 // document (most subtrees skip-scanned), a mid one, and the identity
-// projector (everything raw-copied when validation is off).
+// projector (everything raw-copied, validated or not).
 func benchProjectors(d *dtd.DTD) map[string]dtd.NameSet {
 	low := dtd.NewNameSet("site", "regions", "africa", "item", "item@id",
 		"location", "location#text")
@@ -26,7 +26,7 @@ func benchProjectors(d *dtd.DTD) map[string]dtd.NameSet {
 	return map[string]dtd.NameSet{"low": low, "mid": mid, "full": full}
 }
 
-func benchStream(b *testing.B, eng Engine, pi dtd.NameSet) {
+func benchStream(b *testing.B, eng Engine, pi dtd.NameSet, validate bool) {
 	d := xmark.DTD()
 	doc := xmark.NewGenerator(0.01, 42).Document()
 	var buf bytes.Buffer
@@ -38,7 +38,7 @@ func benchStream(b *testing.B, eng Engine, pi dtd.NameSet) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Stream(io.Discard, bytes.NewReader(src), d, pi, StreamOptions{Engine: eng}); err != nil {
+		if _, err := Stream(io.Discard, bytes.NewReader(src), d, pi, StreamOptions{Engine: eng, Validate: validate}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -46,13 +46,18 @@ func benchStream(b *testing.B, eng Engine, pi dtd.NameSet) {
 
 // BenchmarkStreamPrune compares the byte-level scanner against the
 // encoding/xml token path on an XMark document across projector
-// selectivities. The scanner must beat the decoder by ≥2x throughput
-// and ≥10x fewer allocations on the low-selectivity projector.
+// selectivities, with and without fused validation. The scanner must
+// beat the decoder by ≥2x throughput and ≥10x fewer allocations on the
+// low-selectivity projector, and the validating scanner must stay
+// within ~25% of the unvalidated one (dense DFAs keep validation on the
+// raw-copy and skip-scan fast paths).
 func BenchmarkStreamPrune(b *testing.B) {
 	d := xmark.DTD()
 	for name, pi := range benchProjectors(d) {
 		pi := pi
-		b.Run("scanner/"+name, func(b *testing.B) { benchStream(b, EngineScanner, pi) })
-		b.Run("decoder/"+name, func(b *testing.B) { benchStream(b, EngineDecoder, pi) })
+		b.Run("scanner/"+name, func(b *testing.B) { benchStream(b, EngineScanner, pi, false) })
+		b.Run("decoder/"+name, func(b *testing.B) { benchStream(b, EngineDecoder, pi, false) })
+		b.Run("scanner-validate/"+name, func(b *testing.B) { benchStream(b, EngineScanner, pi, true) })
+		b.Run("decoder-validate/"+name, func(b *testing.B) { benchStream(b, EngineDecoder, pi, true) })
 	}
 }

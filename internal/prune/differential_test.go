@@ -2,12 +2,14 @@ package prune
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"xmlproj/internal/dtd"
 	"xmlproj/internal/gen"
+	"xmlproj/internal/scan"
 	"xmlproj/internal/xmark"
 )
 
@@ -160,6 +162,79 @@ func TestScannerMalformed(t *testing.T) {
 	}
 }
 
+// TestScannerMatchesDecoderInvalid: well-formed documents that violate
+// the DTD. Both engines must agree on acceptance with and without
+// validation (the skipped parts of a document are only shallowly
+// validated, identically on both paths), and under the full-closure π —
+// where raw-copy windows span the whole document even while validating —
+// the scanner must still reject every one of them.
+func TestScannerMatchesDecoderInvalid(t *testing.T) {
+	d := mustDTD(t)
+	docs := []string{
+		// Bad child order: author before title.
+		`<bib><book isbn="1"><author>A</author><title>T</title></book></bib>`,
+		// Missing required child: no author.
+		`<bib><book isbn="1"><title>T</title></book></bib>`,
+		// Unexpected text content in element-only models.
+		`<bib>stray<book isbn="1"><title>T</title><author>A</author></book></bib>`,
+		`<bib><book isbn="1">x<title>T</title><author>A</author></book></bib>`,
+		// Wrong root element.
+		`<book isbn="1"><title>T</title><author>A</author></book>`,
+		// Missing required attribute.
+		`<bib><book><title>T</title><author>A</author></book></bib>`,
+		// Enumeration violation.
+		`<bib><book isbn="1" lang="de"><title>T</title><author>A</author></book></bib>`,
+		// Undeclared attribute.
+		`<bib><book isbn="1" x="1"><title>T</title><author>A</author></book></bib>`,
+		// Repeated optional child: two years.
+		`<bib><book isbn="1"><title>T</title><author>A</author><year>1</year><year>2</year></book></bib>`,
+		// Empty element with a non-empty content model.
+		`<bib><book isbn="1"/></bib>`,
+	}
+	fullPi := dtd.NewNameSet("bib", "book", "title", "title#text", "author", "author#text",
+		"year", "year#text", "book@isbn", "book@lang")
+	pis := []dtd.NameSet{
+		fullPi,
+		dtd.NewNameSet("bib", "book", "title", "title#text"),
+		dtd.NewNameSet("bib"),
+	}
+	for _, doc := range docs {
+		for _, pi := range pis {
+			runBoth(t, doc, d, pi, false)
+			runBoth(t, doc, d, pi, true)
+		}
+		var sb strings.Builder
+		_, err := Stream(&sb, strings.NewReader(doc), d, fullPi,
+			StreamOptions{Validate: true, Engine: EngineScanner})
+		if err == nil {
+			t.Errorf("validated scanner accepted invalid document %q", doc)
+		}
+	}
+}
+
+// TestStreamMaxTokenSize: a single oversized token fails with
+// scan.ErrTokenTooLong under an explicit cap, and passes under the
+// default one.
+func TestStreamMaxTokenSize(t *testing.T) {
+	d := mustDTD(t)
+	pi := dtd.NewNameSet("bib", "book", "title", "title#text", "author", "author#text", "book@isbn")
+	big := `<bib><book isbn="1"><title>` + strings.Repeat("x", 100<<10) +
+		`</title><author>A</author></book></bib>`
+	var sb strings.Builder
+	_, err := Stream(&sb, strings.NewReader(big), d, pi,
+		StreamOptions{Engine: EngineScanner, MaxTokenSize: 64 << 10})
+	if !errors.Is(err, scan.ErrTokenTooLong) {
+		t.Fatalf("capped prune: want ErrTokenTooLong, got %v", err)
+	}
+	sb.Reset()
+	if _, err := Stream(&sb, strings.NewReader(big), d, pi, StreamOptions{Engine: EngineScanner}); err != nil {
+		t.Fatalf("default cap rejected a 100KiB token: %v", err)
+	}
+	if !strings.Contains(sb.String(), strings.Repeat("x", 100<<10)) {
+		t.Fatal("oversized token mangled in output")
+	}
+}
+
 // TestStreamAutoSniffsUTF16 routes byte-order-marked input to the
 // decoder path, which rejects it as an unhandled charset rather than
 // tripping the byte scanner on binary noise.
@@ -193,6 +268,14 @@ func FuzzStreamDifferential(f *testing.F) {
 	f.Add(`<bib><![CDATA[x</bib>`)
 	f.Add(`<bib xmlns:p="u"><p:book isbn="1"/></bib>`)
 	f.Add(`<bib><book isbn="1"><title>a&lt;b<!--x-->mid<!--y-->c&gt;d</title></book></bib>`)
+	// Well-formed but DTD-invalid: the validated run must reject these on
+	// both engines (and the unvalidated run must still match byte for byte).
+	f.Add(`<bib><book isbn="1"><author>A</author><title>T</title></book></bib>`)
+	f.Add(`<bib><book isbn="1"><title>T</title></book></bib>`)
+	f.Add(`<bib>stray<book isbn="1"><title>T</title><author>A</author></book></bib>`)
+	f.Add(`<bib><book><title>T</title><author>A</author></book></bib>`)
+	f.Add(`<bib><book isbn="1" lang="de"><title>T</title><author>A</author></book></bib>`)
+	f.Add(`<bib><book isbn="1"/></bib>`)
 	f.Fuzz(func(t *testing.T, src string) {
 		// End tags are matched by resolved namespace in encoding/xml but
 		// by literal prefix in the scanner; inputs that bind prefixes are
@@ -215,7 +298,8 @@ func FuzzStreamDifferential(f *testing.F) {
 		if sst != dst {
 			t.Fatalf("engines disagree on stats\nscanner: %+v\ndecoder: %+v", sst, dst)
 		}
-		// Validation must also agree (raw copy is off on this path).
+		// Validation must also agree — raw-copy windows stay on under
+		// validation, so this exercises the fused fast path too.
 		var sv, dv strings.Builder
 		_, serr = Stream(&sv, strings.NewReader(src), d, pi, StreamOptions{Validate: true, Engine: EngineScanner})
 		_, derr = Stream(&dv, strings.NewReader(src), d, pi, StreamOptions{Validate: true, Engine: EngineDecoder})

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"unicode"
 	"unicode/utf8"
 
@@ -112,11 +113,21 @@ const (
 type StreamOptions struct {
 	// Validate checks content models, attribute declarations and the root
 	// element while pruning (§6: "prune the document while validating it").
-	// Validation also disables the scanner's raw-copy fast path: verbatim
-	// passthrough would skip the per-node checks.
+	// Validation is fused into the scanner's fast paths: raw-copy
+	// passthrough stays enabled, with every element and text symbol still
+	// walked through the dense content-model DFAs.
 	Validate bool
 	// Engine selects the tokenizer; the zero value is EngineAuto.
 	Engine Engine
+	// MaxTokenSize bounds the scanner-path token buffer; a single token
+	// larger than this fails with scan.ErrTokenTooLong. Zero means
+	// scan.DefaultMaxTokenSize. The decoder path is not affected.
+	MaxTokenSize int
+	// Projection, when non-nil, is the compiled form of π to use on the
+	// scanner path, letting batch callers compile π once per (DTD, π)
+	// pair instead of once per document. It must have been compiled from
+	// the same DTD and π passed to Stream.
+	Projection *dtd.Projection
 }
 
 // Stream prunes the XML document read from src against π, writing the
@@ -127,13 +138,19 @@ type StreamOptions struct {
 // By default the prune runs on the byte-level scanner (internal/scan):
 // tags and text are tokenized as sub-slices of the read buffer, names
 // resolve through the DTD's dense symbol table, subtrees outside π are
-// skip-scanned without materialisation, and (when not validating)
-// subtrees whose reachable closure lies inside π are copied through
-// verbatim. Output is byte-identical to the encoding/xml path, which is
-// kept as the fallback for non-UTF-8 input and as the testing oracle.
+// skip-scanned without materialisation, and subtrees whose reachable
+// closure lies inside π are copied through verbatim — with or without
+// validation, which rides along on the dense content-model DFAs. Output
+// is byte-identical to the encoding/xml path, which is kept as the
+// fallback for non-UTF-8 input and as the testing oracle.
 func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts StreamOptions) (Stats, error) {
 	var stats Stats
-	bw := bufio.NewWriterSize(countingWriter{w: dst, n: &stats.BytesOut}, 1<<16)
+	bw := bwPool.Get().(*bufio.Writer)
+	bw.Reset(countingWriter{w: dst, n: &stats.BytesOut})
+	defer func() {
+		bw.Reset(io.Discard) // drop the caller's writer before pooling
+		bwPool.Put(bw)
+	}()
 
 	eng := opts.Engine
 	if eng == EngineAuto {
@@ -147,10 +164,14 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 		}
 	}
 	if eng == EngineScanner {
-		proj := d.CompileProjection(pi)
+		proj := opts.Projection
+		if proj == nil {
+			proj = d.CompileProjection(pi)
+		}
 		sst, err := scan.Prune(bw, src, d, proj, scan.Options{
-			Validate: opts.Validate,
-			RawCopy:  !opts.Validate,
+			Validate:     opts.Validate,
+			RawCopy:      true,
+			MaxTokenSize: opts.MaxTokenSize,
 		})
 		stats.ElementsIn = sst.ElementsIn
 		stats.ElementsOut = sst.ElementsOut
@@ -453,6 +474,12 @@ func hasAttr(attrs []xml.Attr, name string) bool {
 	}
 	return false
 }
+
+// bwPool recycles the output buffers across prunes; a batch of small
+// documents would otherwise allocate a 64 KiB buffer each.
+var bwPool = sync.Pool{New: func() any {
+	return bufio.NewWriterSize(io.Discard, 1<<16)
+}}
 
 type countingWriter struct {
 	w io.Writer

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sync"
 
 	"xmlproj/internal/dtd"
 )
@@ -14,9 +15,16 @@ type Options struct {
 	// root element while pruning.
 	Validate bool
 	// RawCopy enables verbatim passthrough windows for subtrees whose
-	// reachable closure is inside π. Callers must disable it together
-	// with Validate: raw copying skips the per-node validation work.
+	// reachable closure is inside π. Safe to combine with Validate:
+	// while a subtree rides a window the scanner keeps feeding element
+	// and text symbols through the dense content-model DFAs and checking
+	// attributes, so validation continues without leaving the verbatim
+	// path.
 	RawCopy bool
+	// MaxTokenSize bounds the scanner's sliding buffer: a single token
+	// (one tag, one text chunk, one attribute value) larger than this
+	// fails with scan.ErrTokenTooLong. Zero means DefaultMaxTokenSize.
+	MaxTokenSize int
 }
 
 // Stats mirrors the streaming pruner's counters (the prune package owns
@@ -28,14 +36,50 @@ type Stats struct {
 	MaxDepth                     int
 }
 
+// prunerPool recycles pruner state — the scanner's sliding buffer, the
+// element stack, text and tag scratch — across prunes, so a batch of
+// documents pays the allocation cost once, not per document.
+var prunerPool = sync.Pool{New: func() any { return &pruner{s: NewScanner(nil)} }}
+
 // Prune runs the byte-level pruner: src is tokenized in place, names
 // resolve through the DTD symbol table, and the compiled projection
 // answers keep/skip per element with an array lookup. Output written to
-// bw is byte-identical to the encoding/xml-based pruner's.
+// bw is byte-identical to the encoding/xml-based pruner's. Scanner and
+// pruner state come from a pool and are returned on completion.
 func Prune(bw *bufio.Writer, src io.Reader, d *dtd.DTD, proj *dtd.Projection, opts Options) (Stats, error) {
-	pr := &pruner{s: NewScanner(src), d: d, p: proj, bw: bw, opts: opts}
+	pr := prunerPool.Get().(*pruner)
+	pr.reset(bw, src, d, proj, opts)
 	err := pr.run()
-	return pr.st, err
+	st := pr.st
+	pr.release()
+	prunerPool.Put(pr)
+	return st, err
+}
+
+// reset prepares pooled state for a new input.
+func (pr *pruner) reset(bw *bufio.Writer, src io.Reader, d *dtd.DTD, proj *dtd.Projection, opts Options) {
+	pr.s.Reset(src)
+	pr.s.SetMaxTokenSize(opts.MaxTokenSize)
+	pr.d, pr.p, pr.bw, pr.opts = d, proj, bw, opts
+	pr.st = Stats{}
+	pr.stack = pr.stack[:0]
+	pr.open, pr.sawRoot, pr.runPending = false, false, false
+	pr.textBuf = pr.textBuf[:0]
+	pr.win, pr.winDepth, pr.openInWin, pr.openRel = false, 0, false, 0
+	pr.skipBuf = pr.skipBuf[:0]
+	pr.skipOffs = pr.skipOffs[:0]
+}
+
+// release drops references to per-prune inputs so the pool does not pin
+// the caller's reader, writer, DTD or projection. Scratch buffers keep
+// their capacity — that is the point of pooling.
+func (pr *pruner) release() {
+	for i := range pr.stack {
+		pr.stack[i] = frame{}
+	}
+	pr.stack = pr.stack[:0]
+	pr.s.Reset(nil)
+	pr.d, pr.p, pr.bw = nil, nil, nil
 }
 
 // windowFlushSize bounds how many verbatim bytes a raw-copy window may
@@ -45,8 +89,9 @@ const windowFlushSize = 32 << 10
 
 type frame struct {
 	sym    int32
-	prefix string // interned; "" for unprefixed tags
-	state  int    // content-model DFA state (when validating)
+	prefix string        // interned; "" for unprefixed tags
+	state  int32         // dense content-model DFA state (when validating)
+	aut    *dtd.DenseDFA // the element's dense automaton
 }
 
 type pruner struct {
@@ -258,12 +303,11 @@ func (pr *pruner) flushText() error {
 	pr.runPending = false
 	pr.st.TextIn++
 	top := &pr.stack[len(pr.stack)-1]
-	info := pr.p.Syms.Info(top.sym)
 	if pr.opts.Validate {
-		next := info.Def.Automaton().Next(top.state, dtd.TextName(info.Name))
+		next := top.aut.NextText(top.state)
 		if next < 0 {
 			pr.textBuf = pr.textBuf[:0]
-			return fmt.Errorf("text content not allowed in %s", info.Name)
+			return fmt.Errorf("text content not allowed in %s", pr.p.Syms.Info(top.sym).Name)
 		}
 		top.state = next
 	}
@@ -399,11 +443,13 @@ func (pr *pruner) startTag(tokRel int) error {
 				return fmt.Errorf("root element is %s, DTD requires %s", info.Name, pr.d.Root)
 			}
 		} else {
+			// The parent's dense automaton takes the child transition
+			// with two array loads — no name hashing on the hot path.
 			top := &pr.stack[len(pr.stack)-1]
-			tinfo := pr.p.Syms.Info(top.sym)
-			top.state = tinfo.Def.Automaton().Next(top.state, info.Name)
+			top.state = top.aut.Next(top.state, sym)
 			if top.state < 0 {
-				return fmt.Errorf("element %s not allowed here in content of %s", info.Name, tinfo.Name)
+				return fmt.Errorf("element %s not allowed here in content of %s",
+					info.Name, pr.p.Syms.Info(top.sym).Name)
 			}
 		}
 	}
@@ -442,9 +488,24 @@ func (pr *pruner) startTag(tokRel int) error {
 		tokRel = 0 // mark already sits at this token's '<'
 	}
 
-	canonical := pr.win && len(prefixB) == 0
-	pr.tagBuf = append(pr.tagBuf[:0], '<')
-	pr.tagBuf = append(pr.tagBuf, info.Tag...)
+	// Lazy tag rendering: while the tag stays canonical its rendering is
+	// exactly the raw input span [tokRel, ...), so nothing is materialised
+	// into tagBuf — in a raw-copy window the bytes ride the window, and
+	// outside one they are written straight from the scanner's buffer. At
+	// the first deviation, demote copies the still-canonical head of the
+	// span into tagBuf and kept attributes append canonically from there.
+	canonical := len(prefixB) == 0
+	pr.tagBuf = pr.tagBuf[:0]
+	demote := func(boundaryRel int) {
+		canonical = false
+		pr.tagBuf = append(pr.tagBuf[:0], s.buf[s.mark+tokRel:s.mark+boundaryRel]...)
+	}
+	if !canonical {
+		// The prefix is dropped in canonical output, so the raw span was
+		// never equal to the rendering; start tagBuf from scratch.
+		pr.tagBuf = append(pr.tagBuf, '<')
+		pr.tagBuf = append(pr.tagBuf, info.Tag...)
+	}
 
 	if pr.opts.Validate {
 		decl := pr.p.Attrs(sym)
@@ -467,8 +528,8 @@ func (pr *pruner) startTag(tokRel int) error {
 			return s.readErr()
 		}
 		if b == '/' {
-			if spaceLen != 0 {
-				canonical = false
+			if canonical && spaceLen != 0 {
+				demote(preSpace)
 			}
 			b2, ok := s.getc()
 			if !ok {
@@ -481,15 +542,15 @@ func (pr *pruner) startTag(tokRel int) error {
 			break
 		}
 		if b == '>' {
-			if spaceLen != 0 {
-				canonical = false
+			if canonical && spaceLen != 0 {
+				demote(preSpace)
 			}
 			break
 		}
 		s.ungetc()
-		if spaceLen != 1 || s.buf[s.mark+preSpace] != ' ' {
-			canonical = false
-		}
+		// attrCanon tracks whether this attribute's raw bytes (from
+		// preSpace) are already its canonical rendering.
+		attrCanon := spaceLen == 1 && s.buf[s.mark+preSpace] == ' '
 		anRel := s.pos - s.mark
 		ok, err := s.readName()
 		if err != nil {
@@ -505,7 +566,7 @@ func (pr *pruner) startTag(tokRel int) error {
 		eqRel := s.pos - s.mark
 		s.space()
 		if s.pos-s.mark != eqRel {
-			canonical = false
+			attrCanon = false
 		}
 		b, ok = s.getc()
 		if !ok {
@@ -517,7 +578,7 @@ func (pr *pruner) startTag(tokRel int) error {
 		qRel := s.pos - s.mark
 		s.space()
 		if s.pos-s.mark != qRel {
-			canonical = false
+			attrCanon = false
 		}
 		qb, ok := s.getc()
 		if !ok {
@@ -527,7 +588,7 @@ func (pr *pruner) startTag(tokRel int) error {
 			return errSyntax("unquoted or missing attribute value in element")
 		}
 		if qb != '"' {
-			canonical = false
+			attrCanon = false
 		}
 		var vinfo textInfo
 		pr.attrVal, vinfo, err = s.text(pr.attrVal[:0], int(qb), false)
@@ -535,7 +596,7 @@ func (pr *pruner) startTag(tokRel int) error {
 			return err
 		}
 		if !vinfo.verbatim {
-			canonical = false
+			attrCanon = false
 		}
 
 		// Re-derive the name from its offsets: the value decode may
@@ -557,7 +618,9 @@ func (pr *pruner) startTag(tokRel int) error {
 			pr.seen[api] = true
 		}
 		if string(aprefix) == "xmlns" || string(alocal) == "xmlns" {
-			canonical = false
+			if canonical {
+				demote(preSpace)
+			}
 			continue
 		}
 		if pr.opts.Validate {
@@ -576,11 +639,19 @@ func (pr *pruner) startTag(tokRel int) error {
 			keep = pr.p.KeepExtraAttr(sym, alocal)
 		}
 		if !keep {
-			canonical = false
+			if canonical {
+				demote(preSpace)
+			}
 			continue
 		}
 		if len(aprefix) != 0 {
-			canonical = false
+			attrCanon = false
+		}
+		if canonical && attrCanon {
+			continue // the raw span already carries this attribute canonically
+		}
+		if canonical {
+			demote(preSpace)
 		}
 		pr.tagBuf = append(pr.tagBuf, ' ')
 		pr.tagBuf = append(pr.tagBuf, alocal...)
@@ -598,7 +669,7 @@ func (pr *pruner) startTag(tokRel int) error {
 		}
 	}
 
-	pr.stack = append(pr.stack, frame{sym: sym, prefix: prefix, state: info.Def.Automaton().Start()})
+	pr.stack = append(pr.stack, frame{sym: sym, prefix: prefix, state: info.Dense.Start(), aut: info.Dense})
 	if len(pr.stack) > pr.st.MaxDepth {
 		pr.st.MaxDepth = len(pr.stack)
 	}
@@ -610,7 +681,7 @@ func (pr *pruner) startTag(tokRel int) error {
 		// The decoder synthesizes the end element immediately.
 		if pr.opts.Validate {
 			top := pr.stack[len(pr.stack)-1]
-			if !info.Def.Automaton().Accepting(top.state) {
+			if !top.aut.Accepting(top.state) {
 				return fmt.Errorf("content of %s is incomplete (model %s)", info.Name, info.Def.Content)
 			}
 		}
@@ -629,6 +700,8 @@ func (pr *pruner) startTag(tokRel int) error {
 				pr.closeWindow()
 				pr.winDepth = 0
 			}
+		} else if canonical {
+			pr.bw.Write(s.buf[s.mark+tokRel : s.pos])
 		} else {
 			pr.bw.Write(pr.tagBuf)
 			pr.bw.WriteString("/>")
@@ -648,6 +721,10 @@ func (pr *pruner) startTag(tokRel int) error {
 			pr.openInWin = false
 			pr.winRestart()
 		}
+	} else if canonical {
+		// The trailing '>' stays deferred (closeOpen) so the element can
+		// still self-close in the output.
+		pr.bw.Write(s.buf[s.mark+tokRel : s.pos-1])
 	} else {
 		pr.bw.Write(pr.tagBuf)
 	}
@@ -696,7 +773,7 @@ func (pr *pruner) endTag(tokRel int) error {
 	if string(local) != info.Tag || string(prefixB) != top.prefix {
 		return fmt.Errorf("element <%s> closed by </%s>", info.Tag, name)
 	}
-	if pr.opts.Validate && !info.Def.Automaton().Accepting(top.state) {
+	if pr.opts.Validate && !top.aut.Accepting(top.state) {
 		return fmt.Errorf("content of %s is incomplete (model %s)", info.Name, info.Def.Content)
 	}
 	pr.stack = pr.stack[:len(pr.stack)-1]
@@ -722,6 +799,8 @@ func (pr *pruner) endTag(tokRel int) error {
 			pr.bw.WriteByte('>')
 			pr.winRestart()
 		}
+	} else if len(prefixB) == 0 && spaceLen == 0 {
+		pr.bw.Write(s.buf[s.mark+tokRel : s.pos]) // raw "</tag>" is canonical
 	} else {
 		pr.bw.WriteString("</")
 		pr.bw.WriteString(info.Tag)

@@ -16,6 +16,7 @@
 package scan
 
 import (
+	"bytes"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -29,16 +30,27 @@ import (
 // memory stays proportional to token size, not document size.
 const defaultBufSize = 64 << 10
 
+// DefaultMaxTokenSize bounds the sliding buffer's growth when the
+// caller does not set a limit: a single token (one tag, one text chunk,
+// one attribute value) larger than this fails with ErrTokenTooLong
+// instead of growing the buffer without bound on hostile input.
+const DefaultMaxTokenSize = 8 << 20
+
+// ErrTokenTooLong reports that a single token exceeded the scanner's
+// maximum token size.
+var ErrTokenTooLong = fmt.Errorf("xml token exceeds the scanner's maximum token size")
+
 // Scanner is the low-level byte source: a sliding buffer over an
 // io.Reader with mark-based span retention, plus the tokenization
 // primitives shared by the emitting pruner and the skip scanner.
 type Scanner struct {
-	r    io.Reader
-	buf  []byte
-	pos  int // next unread byte
-	end  int // buf[pos:end] holds valid data
-	mark int // earliest byte that must survive a refill; -1 when none
-	rerr error
+	r        io.Reader
+	buf      []byte
+	pos      int // next unread byte
+	end      int // buf[pos:end] holds valid data
+	mark     int // earliest byte that must survive a refill; -1 when none
+	rerr     error
+	maxToken int // buffer growth cap; 0 means DefaultMaxTokenSize
 
 	// nameCache memoises full XML-name validation for the rare names
 	// that are not pure ASCII (checked by delegating to encoding/xml,
@@ -58,6 +70,11 @@ func (s *Scanner) Reset(r io.Reader) {
 	s.mark = -1
 	s.rerr = nil
 }
+
+// SetMaxTokenSize bounds the buffer growth a single token may force;
+// n <= 0 restores DefaultMaxTokenSize. Tokens already fitting the
+// current buffer are unaffected.
+func (s *Scanner) SetMaxTokenSize(n int) { s.maxToken = n }
 
 // Peek returns up to n buffered bytes without consuming them.
 func (s *Scanner) Peek(n int) []byte {
@@ -87,8 +104,21 @@ func (s *Scanner) fill() bool {
 			s.mark -= base
 		}
 	} else if s.end == len(s.buf) {
-		// A single token larger than the buffer: grow.
-		nb := make([]byte, 2*len(s.buf))
+		// A single token larger than the buffer: grow, up to the
+		// configured cap — hostile input must not take memory hostage.
+		max := s.maxToken
+		if max <= 0 {
+			max = DefaultMaxTokenSize
+		}
+		if len(s.buf) >= max {
+			s.rerr = fmt.Errorf("%w (%d bytes)", ErrTokenTooLong, max)
+			return false
+		}
+		n := 2 * len(s.buf)
+		if n > max {
+			n = max
+		}
+		nb := make([]byte, n)
 		copy(nb, s.buf[:s.end])
 		s.buf = nb
 	}
@@ -558,6 +588,21 @@ type textInfo struct {
 	verbatim bool
 }
 
+// firstSpecial returns the index of the first byte of chunk contained
+// in specials, or len(chunk) when none occurs. Each byte is located
+// with bytes.IndexByte (memchr), bounding every later search by the
+// earliest hit so far, so the scan is a handful of vectorised passes
+// instead of a byte-at-a-time loop.
+func firstSpecial(chunk []byte, specials string) int {
+	n := len(chunk)
+	for i := 0; i < len(specials); i++ {
+		if j := bytes.IndexByte(chunk[:n], specials[i]); j >= 0 {
+			n = j
+		}
+	}
+	return n
+}
+
 // text decodes character data into dst (appending) and returns the
 // extended slice. quote is -1 for element content, or the quote byte
 // for an attribute value; cdata selects CDATA-section rules. The
@@ -565,13 +610,31 @@ type textInfo struct {
 // predefined and numeric entities, \r and \r\n normalised to \n, "]]>"
 // rejected in unquoted chardata, '<' rejected inside quoted values, and
 // the decoded result checked for UTF-8 validity and the XML Char range.
+//
+// The hot loop jumps from one "special" byte to the next with memchr
+// (firstSpecial) and bulk-copies the plain spans between them; only the
+// rare special bytes are handled individually.
 func (s *Scanner) text(dst []byte, quote int, cdata bool) ([]byte, textInfo, error) {
 	info := textInfo{verbatim: true}
 	base := len(dst)
-	var b0, b1 byte
+	// The terminator comes first so the later searches are bounded by
+	// its position. ']' matters only in unquoted chardata ("]]>"), '&'
+	// and '<' only outside CDATA, '>' only for the verbatim flag (the
+	// output escaper rewrites it; CDATA is re-escaped by the caller).
+	var specials string
+	switch {
+	case cdata:
+		specials = "]\r"
+	case quote < 0:
+		specials = "<&]\r>"
+	case quote == '"':
+		specials = "\"&<\r>"
+	default:
+		specials = "'&<\r>"
+	}
+loop:
 	for {
-		b, ok := s.getc()
-		if !ok {
+		if s.pos == s.end && !s.fill() {
 			if cdata {
 				if !s.atEOF() {
 					return dst, info, s.rerr
@@ -580,63 +643,114 @@ func (s *Scanner) text(dst []byte, quote int, cdata bool) ([]byte, textInfo, err
 			}
 			break
 		}
-		if quote < 0 && b0 == ']' && b1 == ']' && b == '>' {
-			if cdata {
-				dst = dst[:len(dst)-2] // chop the ]] already written
-				break
+		chunk := s.buf[s.pos:s.end]
+		j := firstSpecial(chunk, specials)
+		if j > 0 {
+			dst = append(dst, chunk[:j]...)
+			s.pos += j
+			if j == len(chunk) {
+				continue
 			}
-			return dst, info, errSyntax("unescaped ]]> not in CDATA section")
 		}
-		if b == '<' && !cdata {
+		switch b := chunk[j]; b {
+		case '<':
 			if quote >= 0 {
 				return dst, info, errSyntax("unescaped < inside quoted string")
 			}
-			s.ungetc()
-			break
-		}
-		if quote >= 0 && b == byte(quote) {
-			break
-		}
-		if b == '&' && !cdata {
+			break loop // not consumed; the caller reads the tag
+		case '&':
+			s.pos++
 			r, err := s.decodeEntity()
 			if err != nil {
 				return dst, info, err
 			}
 			dst = utf8.AppendRune(dst, r)
 			info.verbatim = false
-			b0, b1 = 0, 0
-			continue
-		}
-		if b == '>' {
-			// Legal input, but the output escaper rewrites it.
-			info.verbatim = false
-		}
-		if b == '\r' {
+		case '\r':
+			s.pos++
 			dst = append(dst, '\n')
 			info.verbatim = false
-		} else if b1 == '\r' && b == '\n' {
-			// Skip \n after \r — the \n was already written.
-		} else {
-			dst = append(dst, b)
+			// \r\n collapses to the \n already written.
+			if s.pos == s.end {
+				s.fill()
+			}
+			if s.pos < s.end && s.buf[s.pos] == '\n' {
+				s.pos++
+			}
+		case '>':
+			s.pos++
+			dst = append(dst, '>')
+			info.verbatim = false
+		case ']':
+			// Collect the whole run of ']'s, then look at the byte after
+			// it: "]]>" ends a CDATA section (chopping the "]]" already
+			// appended) and is illegal in plain chardata.
+			run := 0
+			for {
+				if s.pos == s.end && !s.fill() {
+					break
+				}
+				if s.pos < s.end && s.buf[s.pos] == ']' {
+					s.pos++
+					run++
+					dst = append(dst, ']')
+					continue
+				}
+				break
+			}
+			if run >= 2 {
+				if s.pos == s.end {
+					s.fill()
+				}
+				if s.pos < s.end && s.buf[s.pos] == '>' {
+					s.pos++
+					if cdata {
+						dst = dst[:len(dst)-2]
+						break loop
+					}
+					return dst, info, errSyntax("unescaped ]]> not in CDATA section")
+				}
+			}
+		default: // the quote byte ends an attribute value
+			s.pos++
+			break loop
 		}
-		b0, b1 = b1, b
 	}
 	// Validate the decoded bytes: UTF-8 and the XML Char production,
-	// computing whitespace-ness in the same pass.
+	// computing whitespace-ness in the same pass. ASCII runs in a tight
+	// byte loop; multi-byte runes fall back to full decoding.
 	info.ws = true
 	buf := dst[base:]
-	for len(buf) > 0 {
-		r, size := utf8.DecodeRune(buf)
+	i := 0
+	for i < len(buf) {
+		c := buf[i]
+		if c >= utf8.RuneSelf {
+			break
+		}
+		if c > ' ' { // 0x21–0x7F: always a valid, non-space XML char
+			info.ws = false
+			i++
+			continue
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return dst, info, errSyntax(fmt.Sprintf("illegal character code %U", rune(c)))
+		}
+	}
+	for i < len(buf) {
+		r, size := utf8.DecodeRune(buf[i:])
 		if r == utf8.RuneError && size == 1 {
 			return dst, info, errSyntax("invalid UTF-8")
 		}
-		buf = buf[size:]
 		if !isInCharacterRange(r) {
 			return dst, info, errSyntax(fmt.Sprintf("illegal character code %U", r))
 		}
 		if info.ws && !unicode.IsSpace(r) {
 			info.ws = false
 		}
+		i += size
 	}
 	return dst, info, nil
 }
