@@ -59,6 +59,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	materialize := fs.Bool("materialize", true, "keep full subtrees of result nodes")
 	jobs := fs.Int("jobs", 0, "concurrent pruning workers for multiple inputs (default GOMAXPROCS)")
 	keepGoing := fs.Bool("keep-going", false, "with multiple inputs, prune the rest after a document fails")
+	intra := fs.Int("intra", 0, "intra-document parallel pruning workers; 0 auto-selects per document, >0 forces the parallel pruner")
+	chunk := fs.Int("chunk", 0, "stage-1 index chunk size in bytes for intra-document parallelism (0 = auto)")
 	var queries, ins stringList
 	fs.Var(&queries, "q", "query (XPath or XQuery); repeatable")
 	fs.Var(&ins, "in", "input document or glob pattern; repeatable (default stdin)")
@@ -194,9 +196,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	eng := xmlproj.NewEngine(xmlproj.EngineOptions{Workers: *jobs})
 	start = time.Now()
 	results, agg, batchErr := eng.PruneBatch(context.Background(), p, batch, xmlproj.BatchOptions{
-		Workers:  *jobs,
-		Validate: *validateFlag,
-		FailFast: !*keepGoing,
+		Workers:        *jobs,
+		Validate:       *validateFlag,
+		FailFast:       !*keepGoing,
+		Parallel:       *intra > 0,
+		IntraWorkers:   *intra,
+		IntraChunkSize: *chunk,
 	})
 	elapsed := time.Since(start)
 	// The engine closed the file sinks (reporting close errors per job);
@@ -224,10 +229,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if batchErr == nil {
 			r := results[0]
 			st := r.Stats
+			parNote := ""
+			if r.Parallel.Workers > 0 && !r.Parallel.Fallback {
+				parNote = fmt.Sprintf("; parallel %d workers, %d fragments (index %s, prune %s, stitch %s)",
+					r.Parallel.Workers, r.Parallel.Tasks,
+					r.Parallel.IndexTime.Round(time.Microsecond),
+					r.Parallel.PruneTime.Round(time.Microsecond),
+					r.Parallel.StitchTime.Round(time.Microsecond))
+			}
 			fmt.Fprintf(stderr,
-				"xmlprune: %spruned in %s; elements %d -> %d; %d -> %d bytes (%.1f MB/s); depth %d\n",
+				"xmlprune: %spruned in %s; elements %d -> %d; %d -> %d bytes (%.1f MB/s); depth %d%s\n",
 				inferNote, elapsed, st.ElementsIn, st.ElementsOut,
-				r.BytesIn, st.BytesOut, r.Throughput(), st.MaxDepth)
+				r.BytesIn, st.BytesOut, r.Throughput(), st.MaxDepth, parNote)
 		}
 	} else {
 		for _, r := range results {

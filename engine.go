@@ -10,6 +10,7 @@ import (
 
 	"xmlproj/internal/core"
 	"xmlproj/internal/engine"
+	"xmlproj/internal/prune"
 )
 
 // Engine is a concurrent projection engine for server-style workloads:
@@ -127,9 +128,25 @@ type BatchResult struct {
 	BytesIn int64
 	// Elapsed is the wall time the prune took (zero for skipped jobs).
 	Elapsed time.Duration
+	// Parallel reports how the intra-document parallel pruner ran for
+	// this job; Parallel.Workers == 0 means the job ran serially.
+	Parallel ParallelStages
 	// Err is nil on success; jobs skipped after cancellation carry the
 	// context error.
 	Err error
+}
+
+// ParallelStages is the per-stage breakdown of one intra-document
+// parallel prune: structural indexing, concurrent fragment pruning, and
+// the sequential splice pass that stitches the fragments together.
+type ParallelStages struct {
+	IndexTime, PruneTime, StitchTime time.Duration
+	// Workers is the resolved worker count; Tasks the number of document
+	// ranges pruned concurrently.
+	Workers, Tasks int
+	// Fallback reports that the document was handed to the serial pruner
+	// (input the structural index cannot describe).
+	Fallback bool
 }
 
 // Throughput returns the job's input processing rate in MB/s (0 when
@@ -151,6 +168,18 @@ type BatchOptions struct {
 	// FailFast cancels the remaining jobs after the first failure;
 	// otherwise the batch keeps going and reports every error.
 	FailFast bool
+	// Parallel forces the intra-document parallel pruner for every job.
+	// When false it is still auto-selected per job for large inputs of
+	// known size on multi-CPU hosts.
+	Parallel bool
+	// IntraWorkers bounds the parallel pruner's concurrency within one
+	// document (0 means GOMAXPROCS). Batches mixing inter-document and
+	// intra-document parallelism will want Workers × IntraWorkers to be
+	// about GOMAXPROCS.
+	IntraWorkers int
+	// IntraChunkSize overrides the parallel pruner's stage-1 chunk
+	// granularity in bytes (0 = auto).
+	IntraChunkSize int
 }
 
 // BatchStats aggregates a batch: summed pruner stats (MaxDepth is the
@@ -170,14 +199,31 @@ func (eng *Engine) PruneBatch(ctx context.Context, p *Projector, jobs []BatchJob
 	for i, j := range jobs {
 		ejobs[i] = engine.Job{Name: j.Name, Src: j.Src, Dst: j.Dst}
 	}
-	res, agg, err := eng.e.PruneBatch(ctx, p.d, p.pr.Names, ejobs, engine.BatchOptions{
-		Workers:  opts.Workers,
-		Validate: opts.Validate,
-		FailFast: opts.FailFast,
-	})
+	eopts := engine.BatchOptions{
+		Workers:        opts.Workers,
+		Validate:       opts.Validate,
+		FailFast:       opts.FailFast,
+		IntraWorkers:   opts.IntraWorkers,
+		IntraChunkSize: opts.IntraChunkSize,
+	}
+	if opts.Parallel {
+		eopts.Engine = prune.EngineParallel
+	}
+	res, agg, err := eng.e.PruneBatch(ctx, p.d, p.pr.Names, ejobs, eopts)
 	out := make([]BatchResult, len(res))
 	for i, r := range res {
-		out[i] = BatchResult{Name: r.Name, Stats: pruneStatsOf(r.Stats), BytesIn: r.BytesIn, Elapsed: r.Elapsed, Err: r.Err}
+		out[i] = BatchResult{
+			Name: r.Name, Stats: pruneStatsOf(r.Stats), BytesIn: r.BytesIn, Elapsed: r.Elapsed,
+			Parallel: ParallelStages{
+				IndexTime:  r.Parallel.IndexTime,
+				PruneTime:  r.Parallel.PruneTime,
+				StitchTime: r.Parallel.StitchTime,
+				Workers:    r.Parallel.Workers,
+				Tasks:      r.Parallel.Tasks,
+				Fallback:   r.Parallel.Fallback,
+			},
+			Err: r.Err,
+		}
 	}
 	return out, BatchStats{
 		PruneStats: pruneStatsOf(agg.Stats),
@@ -208,6 +254,12 @@ type EngineMetrics struct {
 	// lookups: PruneBatch compiles π against the schema's symbol table
 	// once per (schema, π) workload and reuses it across batches.
 	ProjectionHits, ProjectionMisses int64
+	// ParallelPrunes counts jobs that ran on the intra-document parallel
+	// pruner; ParallelFallbacks the subset handed back to the serial
+	// scanner. IndexTime, FragmentTime and StitchTime accumulate the
+	// parallel pruner's per-stage wall times across those jobs.
+	ParallelPrunes, ParallelFallbacks   int64
+	IndexTime, FragmentTime, StitchTime time.Duration
 }
 
 // Metrics returns a snapshot of the engine's counters.
@@ -227,5 +279,11 @@ func (eng *Engine) Metrics() EngineMetrics {
 		BytesOut:         m.BytesOut,
 		ProjectionHits:   m.ProjectionHits,
 		ProjectionMisses: m.ProjectionMisses,
+
+		ParallelPrunes:    m.ParallelPrunes,
+		ParallelFallbacks: m.ParallelFallbacks,
+		IndexTime:         m.IndexTime,
+		FragmentTime:      m.FragmentTime,
+		StitchTime:        m.StitchTime,
 	}
 }

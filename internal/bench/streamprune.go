@@ -2,7 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"xmlproj/internal/dtd"
@@ -16,7 +18,8 @@ type StreamPruneCase struct {
 	// subtrees skip-scanned), "mid" a moderate one, "full" everything
 	// (the raw-copy fast path, exercised with and without validation).
 	Projector string `json:"projector"`
-	// Engine is "scanner" (internal/scan) or "decoder" (encoding/xml).
+	// Engine is "scanner" (internal/scan), "decoder" (encoding/xml) or
+	// "parallel" (the two-stage intra-document parallel pruner).
 	Engine string `json:"engine"`
 	// Validate reports whether validation was fused into the prune.
 	Validate bool `json:"validate"`
@@ -28,11 +31,24 @@ type StreamPruneCase struct {
 	BytesOut    int64   `json:"bytes_out"`
 }
 
+// StreamPruneOptions tunes the parallel-pruner cases of RunStreamPrune.
+type StreamPruneOptions struct {
+	// IntraWorkers bounds the parallel pruner's workers (0 = GOMAXPROCS).
+	IntraWorkers int
+	// ChunkSize overrides the parallel pruner's stage-1 chunk size.
+	ChunkSize int
+}
+
 // StreamPruneReport is the JSON artifact emitted by `xbench -streamprune`.
 type StreamPruneReport struct {
 	Factor   float64 `json:"factor"`
 	Seed     int64   `json:"seed"`
 	DocBytes int64   `json:"doc_bytes"`
+	// GOMAXPROCS and NumCPU record the parallelism available to the run,
+	// so consumers (CI speedup gates) can skip parallel-speedup
+	// thresholds on single-CPU hosts instead of failing on them.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
 	// SpeedupLow and AllocRatioLow compare scanner vs decoder on the
 	// low-selectivity projector: throughput ratio and allocation ratio.
 	SpeedupLow    float64 `json:"speedup_low"`
@@ -44,9 +60,16 @@ type StreamPruneReport struct {
 	// unvalidated-to-validated throughput ratios on the low and mid
 	// projectors: 1.0 means fused validation is free, 1.25 means the
 	// validating pass runs 25% slower.
-	ValidateOverheadLow float64           `json:"validate_overhead_low"`
-	ValidateOverheadMid float64           `json:"validate_overhead_mid"`
-	Cases               []StreamPruneCase `json:"cases"`
+	ValidateOverheadLow float64 `json:"validate_overhead_low"`
+	ValidateOverheadMid float64 `json:"validate_overhead_mid"`
+	// SpeedupParallel compares the intra-document parallel pruner against
+	// the serial scanner (full projector, unvalidated — the shape where
+	// pruning is compute-bound); SpeedupParallelLow the same on the
+	// low-selectivity projector. Meaningless (≈1 or below) when
+	// NumCPU == 1.
+	SpeedupParallel    float64           `json:"speedup_parallel"`
+	SpeedupParallelLow float64           `json:"speedup_parallel_low"`
+	Cases              []StreamPruneCase `json:"cases"`
 }
 
 // StreamPruneProjectors returns the benchmark π shapes over the XMark
@@ -70,15 +93,42 @@ func StreamPruneProjectors(d *dtd.DTD) []struct {
 	}{{"low", low}, {"mid", mid}, {"full", full}}
 }
 
-// RunStreamPrune benchmarks prune.Stream on both engines across the
-// projector shapes and packages the results.
-func RunStreamPrune(factor float64, seed int64) (*StreamPruneReport, error) {
+// RunStreamPrune benchmarks prune.Stream on the serial scanner, the
+// decoder reference and the intra-document parallel pruner across the
+// projector shapes and packages the results. Before timing anything it
+// asserts that the parallel pruner's output is byte-identical to the
+// serial scanner's on every projector, so a benchmark report can never
+// advertise the speed of a wrong answer.
+func RunStreamPrune(factor float64, seed int64, opts StreamPruneOptions) (*StreamPruneReport, error) {
 	w := NewWorkload(factor, seed)
-	rep := &StreamPruneReport{Factor: factor, Seed: seed, DocBytes: int64(len(w.DocBytes))}
+	rep := &StreamPruneReport{
+		Factor: factor, Seed: seed, DocBytes: int64(len(w.DocBytes)),
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+	}
+	mkOpts := func(eng prune.Engine, v bool) prune.StreamOptions {
+		return prune.StreamOptions{
+			Engine:            eng,
+			Validate:          v,
+			ParallelWorkers:   opts.IntraWorkers,
+			ParallelChunkSize: opts.ChunkSize,
+		}
+	}
+	for _, p := range StreamPruneProjectors(w.D) {
+		var serialOut, parallelOut bytes.Buffer
+		if _, err := prune.Stream(&serialOut, bytes.NewReader(w.DocBytes), w.D, p.Pi, mkOpts(prune.EngineScanner, false)); err != nil {
+			return nil, fmt.Errorf("serial prune (%s): %w", p.Name, err)
+		}
+		if _, err := prune.Stream(&parallelOut, bytes.NewReader(w.DocBytes), w.D, p.Pi, mkOpts(prune.EngineParallel, false)); err != nil {
+			return nil, fmt.Errorf("parallel prune (%s): %w", p.Name, err)
+		}
+		if !bytes.Equal(serialOut.Bytes(), parallelOut.Bytes()) {
+			return nil, fmt.Errorf("parallel pruner output differs from serial scanner on projector %s", p.Name)
+		}
+	}
 	engines := []struct {
 		Name string
 		Eng  prune.Engine
-	}{{"scanner", prune.EngineScanner}, {"decoder", prune.EngineDecoder}}
+	}{{"scanner", prune.EngineScanner}, {"decoder", prune.EngineDecoder}, {"parallel", prune.EngineParallel}}
 
 	for _, p := range StreamPruneProjectors(w.D) {
 		for _, e := range engines {
@@ -89,7 +139,7 @@ func RunStreamPrune(factor float64, seed int64) (*StreamPruneReport, error) {
 				r := testing.Benchmark(func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
-						stats, serr = prune.Stream(io.Discard, bytes.NewReader(w.DocBytes), w.D, pi, prune.StreamOptions{Engine: eng, Validate: v})
+						stats, serr = prune.Stream(io.Discard, bytes.NewReader(w.DocBytes), w.D, pi, mkOpts(eng, v))
 						if serr != nil {
 							b.Fatal(serr)
 						}
@@ -138,5 +188,7 @@ func RunStreamPrune(factor float64, seed int64) (*StreamPruneReport, error) {
 	rep.SpeedupLowValidated = ratio(find("low", "scanner", true), find("low", "decoder", true))
 	rep.ValidateOverheadLow = ratio(lowScanner, find("low", "scanner", true))
 	rep.ValidateOverheadMid = ratio(find("mid", "scanner", false), find("mid", "scanner", true))
+	rep.SpeedupParallel = ratio(find("full", "parallel", false), find("full", "scanner", false))
+	rep.SpeedupParallelLow = ratio(find("low", "parallel", false), lowScanner)
 	return rep, nil
 }

@@ -20,6 +20,12 @@ type counters struct {
 	bytesOut    atomic.Int64
 	projHits    atomic.Int64
 	projMisses  atomic.Int64
+
+	parallelPrunes    atomic.Int64
+	parallelFallbacks atomic.Int64
+	indexNanos        atomic.Int64
+	fragmentNanos     atomic.Int64
+	stitchNanos       atomic.Int64
 }
 
 // Metrics is a point-in-time snapshot of the engine's counters.
@@ -44,6 +50,15 @@ type Metrics struct {
 	// lookups (a miss compiles π against the DTD's symbol table; calls
 	// that piggyback on an in-flight compilation count as hits).
 	ProjectionHits, ProjectionMisses int64
+	// ParallelPrunes counts batch jobs that ran on the intra-document
+	// parallel pruner; ParallelFallbacks the subset handed back to the
+	// serial scanner (unindexable input). IndexTime, FragmentTime and
+	// StitchTime are the cumulative per-stage wall times across those
+	// jobs.
+	ParallelPrunes, ParallelFallbacks int64
+	IndexTime                         time.Duration
+	FragmentTime                      time.Duration
+	StitchTime                        time.Duration
 }
 
 // Metrics returns a snapshot. Individual counters are each read
@@ -64,5 +79,11 @@ func (e *Engine) Metrics() Metrics {
 		BytesOut:         e.m.bytesOut.Load(),
 		ProjectionHits:   e.m.projHits.Load(),
 		ProjectionMisses: e.m.projMisses.Load(),
+
+		ParallelPrunes:    e.m.parallelPrunes.Load(),
+		ParallelFallbacks: e.m.parallelFallbacks.Load(),
+		IndexTime:         time.Duration(e.m.indexNanos.Load()),
+		FragmentTime:      time.Duration(e.m.fragmentNanos.Load()),
+		StitchTime:        time.Duration(e.m.stitchNanos.Load()),
 	}
 }

@@ -34,6 +34,9 @@ type JobResult struct {
 	// Elapsed is the wall time the prune took (zero for skipped jobs),
 	// so callers can report per-job throughput.
 	Elapsed time.Duration
+	// Parallel holds the per-stage timings of an intra-document parallel
+	// prune; Parallel.Workers == 0 means the job ran serially.
+	Parallel prune.ParallelDetail
 	// Err is nil on success. Jobs skipped after cancellation (fail-fast
 	// or a cancelled context) carry the context error.
 	Err error
@@ -58,6 +61,18 @@ type BatchOptions struct {
 	// FailFast cancels the remaining jobs after the first failure.
 	// Otherwise the batch keeps going and reports every error.
 	FailFast bool
+	// Engine selects the pruner per job; the zero value (EngineAuto)
+	// uses the serial scanner for small or unsized inputs and the
+	// intra-document parallel pruner for large ones on multi-CPU hosts.
+	Engine prune.Engine
+	// IntraWorkers bounds the parallel pruner's workers within one
+	// document (0 means GOMAXPROCS). Batches mixing inter-document and
+	// intra-document parallelism will want Workers × IntraWorkers ≈
+	// GOMAXPROCS.
+	IntraWorkers int
+	// IntraChunkSize overrides the parallel pruner's stage-1 chunk
+	// granularity in bytes (0 = auto).
+	IntraChunkSize int
 }
 
 // BatchStats aggregates a batch.
@@ -170,7 +185,14 @@ func (e *Engine) runJob(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, proj *d
 	} else {
 		src := &countingReader{r: job.Src, ctx: ctx}
 		start := time.Now()
-		res.Stats, res.Err = prune.Stream(job.Dst, src, d, pi, prune.StreamOptions{Validate: opts.Validate, Projection: proj})
+		res.Stats, res.Err = prune.Stream(job.Dst, src, d, pi, prune.StreamOptions{
+			Validate:          opts.Validate,
+			Projection:        proj,
+			Engine:            opts.Engine,
+			ParallelWorkers:   opts.IntraWorkers,
+			ParallelChunkSize: opts.IntraChunkSize,
+			Detail:            &res.Parallel,
+		})
 		res.Elapsed = time.Since(start)
 		res.BytesIn = src.n
 		// A prune aborted by cancellation reports the context error, not
@@ -185,6 +207,15 @@ func (e *Engine) runJob(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, proj *d
 	}
 	e.m.bytesIn.Add(res.BytesIn)
 	e.m.bytesOut.Add(res.Stats.BytesOut)
+	if res.Parallel.Workers > 0 {
+		e.m.parallelPrunes.Add(1)
+		if res.Parallel.Fallback {
+			e.m.parallelFallbacks.Add(1)
+		}
+		e.m.indexNanos.Add(res.Parallel.IndexTime.Nanoseconds())
+		e.m.fragmentNanos.Add(res.Parallel.PruneTime.Nanoseconds())
+		e.m.stitchNanos.Add(res.Parallel.StitchTime.Nanoseconds())
+	}
 	switch {
 	case res.Err == nil:
 		e.m.docsPruned.Add(1)
@@ -213,6 +244,12 @@ type countingReader struct {
 	r   io.Reader
 	ctx context.Context
 	n   int64
+}
+
+// InputSize forwards the underlying reader's size so prune.Stream's
+// auto-selection can still see it through the wrapper.
+func (c *countingReader) InputSize() (int64, bool) {
+	return prune.InputSize(c.r)
 }
 
 func (c *countingReader) Read(p []byte) (int, error) {

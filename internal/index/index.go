@@ -1,0 +1,527 @@
+// Package index builds a structural index of an XML document for the
+// parallel pruner, simdjson-style: the input is split into byte chunks
+// scanned concurrently for structural '<' positions, each classified as
+// a start tag, end tag, comment, CDATA section, processing instruction
+// or directive; a cheap sequential fix-up pass then stitches chunk
+// boundaries (a construct spanning a cut invalidates the speculative
+// entries it covers) and prefix-sums depth deltas into absolute depths.
+//
+// Classification is context-free: given that an offset really is a
+// structural '<' (outside every tag, comment, CDATA section, PI and
+// directive), the construct's kind and extent depend only on the bytes
+// from that offset forward. Workers therefore scan speculatively —
+// assuming their chunk starts in element content — and the stitch pass
+// validates each speculative entry by reaching it through verified
+// ground: an entry is kept only when the scan cursor arrives at its
+// offset through a gap the worker proved free of '<'. Entries the
+// cursor lands inside of (the worker had desynchronised) are dropped
+// and the region is rescanned serially until it resynchronises.
+//
+// The index is intentionally conservative: structure it cannot classify
+// (an unterminated construct, '<' inside a quoted attribute value, no
+// single non-empty root) reports ErrStructure and the caller falls back
+// to the serial pruner, which reproduces the exact serial verdict.
+package index
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Kind classifies one structural entry.
+type Kind uint8
+
+const (
+	// Start is a start tag <e ...>; StartEmpty an empty-element tag
+	// <e .../>; End an end tag </e>.
+	Start Kind = iota
+	StartEmpty
+	End
+	// Comment, PI, CDATA and Directive are the non-element constructs;
+	// they do not change depth.
+	Comment
+	PI
+	CDATA
+	Directive
+)
+
+// Entry is one structural position: the construct's byte extent
+// [Off, End), its kind, the element symbol for tags (-1 when the name
+// is not in the DTD or not a tag), and the absolute element depth
+// assigned by the stitch pass. Depth is the number of open elements
+// enclosing the construct, with an End tag recording the depth of the
+// element it closes — an element's Start and End entries carry the
+// same Depth (the root's are 0, its children's 1, and so on).
+type Entry struct {
+	Off   int
+	End   int
+	Sym   int32
+	Depth int32
+	Kind  Kind
+}
+
+// Options configures Build.
+type Options struct {
+	// Workers bounds stage-1 parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// ChunkSize is the byte-chunk granularity for the parallel scan;
+	// 0 picks a size from the input length and worker count.
+	ChunkSize int
+	// MaxTokenSize bounds a single construct or inter-construct text
+	// gap; longer ones fail with ErrTokenTooLong, mirroring the serial
+	// scanner's sliding-buffer cap. 0 means no stage-1 bound.
+	MaxTokenSize int
+	// Lookup resolves a tag's local name to its DTD symbol (for Entry.Sym);
+	// nil leaves every Sym at -1.
+	Lookup func(local []byte) (int32, bool)
+}
+
+// Index is the structural index of one document.
+type Index struct {
+	Entries []Entry
+	// RootStart and RootEnd are the Entries indexes of the root
+	// element's start and end tags.
+	RootStart, RootEnd int
+
+	chunks [][]Entry // pooled per-chunk scratch
+}
+
+// ErrStructure reports document structure the index cannot describe
+// (an unterminated construct, '<' inside a quoted value, no single
+// non-empty root element, unbalanced tags). The caller is expected to
+// fall back to the serial pruner, which either handles the input or
+// reproduces the serial error verdict.
+var ErrStructure = errors.New("index: document structure unsuitable for parallel pruning")
+
+// ErrTokenTooLong reports a single construct or text gap longer than
+// Options.MaxTokenSize, detected in stage 1 before any fragment work.
+var ErrTokenTooLong = errors.New("index: token exceeds the maximum token size")
+
+var indexPool = sync.Pool{New: func() any { return new(Index) }}
+
+// Build scans data in parallel and returns its structural index.
+// Errors are either ErrStructure (fall back to serial), ErrTokenTooLong
+// (hard failure, matches the serial scanner's cap) — both wrapped.
+func Build(data []byte, opts Options) (*Index, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunk := opts.ChunkSize
+	if chunk <= 0 {
+		chunk = len(data) / (workers * 4)
+		const minChunk, maxChunk = 64 << 10, 8 << 20
+		if chunk < minChunk {
+			chunk = minChunk
+		}
+		if chunk > maxChunk {
+			chunk = maxChunk
+		}
+	}
+	n := (len(data) + chunk - 1) / chunk
+	if n < 1 {
+		n = 1
+	}
+
+	ix := indexPool.Get().(*Index)
+	ix.Entries = ix.Entries[:0]
+	ix.RootStart, ix.RootEnd = -1, -1
+	if cap(ix.chunks) < n {
+		ix.chunks = make([][]Entry, n)
+	}
+	chunks := ix.chunks[:n]
+	// anoms[i] is the offset where chunk i's worker stopped classifying
+	// (an unclassifiable '<'), or -1.
+	anoms := make([]int, n)
+
+	// Stage 1a: speculative parallel chunk scan.
+	var wg sync.WaitGroup
+	conc := workers
+	if conc > n {
+		conc = n
+	}
+	var next int32
+	nextMu := sync.Mutex{}
+	take := func() int {
+		nextMu.Lock()
+		i := int(next)
+		next++
+		nextMu.Unlock()
+		return i
+	}
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci := take()
+				if ci >= n {
+					return
+				}
+				from := ci * chunk
+				to := from + chunk
+				if to > len(data) {
+					to = len(data)
+				}
+				chunks[ci], anoms[ci] = scanChunk(data, from, to, chunks[ci][:0], opts.Lookup)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Stage 1b: sequential stitch — validate speculative entries by
+	// reaching them through verified ground, repair desynchronised
+	// regions, and prefix-sum depths.
+	if err := ix.stitch(data, chunks, anoms, chunk, opts); err != nil {
+		ix.Release()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Release returns the index's buffers to the pool. The index and its
+// entries must not be used afterwards.
+func (ix *Index) Release() {
+	ix.RootStart, ix.RootEnd = -1, -1
+	indexPool.Put(ix)
+}
+
+// scanChunk finds and classifies structural '<' positions in [from,to),
+// assuming from lies in element content. Constructs may extend past to;
+// classification reads as far as it needs. Returns the entries and the
+// offset of the first '<' it could not classify (-1 when none).
+func scanChunk(data []byte, from, to int, out []Entry, lookup func([]byte) (int32, bool)) ([]Entry, int) {
+	pos := from
+	for pos < to {
+		j := bytes.IndexByte(data[pos:to], '<')
+		if j < 0 {
+			break
+		}
+		off := pos + j
+		e, ok := classifyAt(data, off, lookup)
+		if !ok {
+			return out, off
+		}
+		out = append(out, e)
+		pos = e.End
+	}
+	return out, -1
+}
+
+// classifyAt classifies the construct starting at the structural '<' at
+// data[off]. It is context-free: the result depends only on bytes from
+// off forward. ok is false when the construct cannot be classified
+// (unterminated, '<' inside the tag or a quoted value, malformed name
+// start handled permissively — see below).
+func classifyAt(data []byte, off int, lookup func([]byte) (int32, bool)) (Entry, bool) {
+	e := Entry{Off: off, Sym: -1}
+	rest := data[off+1:]
+	if len(rest) == 0 {
+		return e, false
+	}
+	switch rest[0] {
+	case '/':
+		return classifyEndTag(data, off, lookup)
+	case '?':
+		// PI: ends at the first "?>".
+		k := bytes.Index(rest[1:], []byte("?>"))
+		if k < 0 {
+			return e, false
+		}
+		e.Kind = PI
+		e.End = off + 2 + k + 2
+		return e, true
+	case '!':
+		if bytes.HasPrefix(rest, []byte("!--")) {
+			k := bytes.Index(rest[3:], []byte("-->"))
+			if k < 0 {
+				return e, false
+			}
+			e.Kind = Comment
+			e.End = off + 4 + k + 3
+			return e, true
+		}
+		if bytes.HasPrefix(rest, []byte("![CDATA[")) {
+			k := bytes.Index(rest[8:], []byte("]]>"))
+			if k < 0 {
+				return e, false
+			}
+			e.Kind = CDATA
+			e.End = off + 9 + k + 3
+			return e, true
+		}
+		return classifyDirective(data, off)
+	default:
+		return classifyStartTag(data, off, lookup)
+	}
+}
+
+// classifyEndTag scans "</name ... >". Malformed interiors still get an
+// extent (the first '>'): the fragment that re-tokenizes the region
+// reports the precise serial error.
+func classifyEndTag(data []byte, off int, lookup func([]byte) (int32, bool)) (Entry, bool) {
+	e := Entry{Off: off, Sym: -1, Kind: End}
+	k := bytes.IndexByte(data[off:], '>')
+	if k < 0 {
+		return e, false
+	}
+	e.End = off + k + 1
+	if lookup != nil {
+		name := nameAt(data[off+2 : off+k])
+		if local := localOf(name); len(local) > 0 {
+			if sym, ok := lookup(local); ok {
+				e.Sym = sym
+			}
+		}
+	}
+	return e, true
+}
+
+// classifyStartTag scans "<name attr='...' ...>" respecting quotes ('>'
+// is legal inside a quoted attribute value). A '<' inside the tag —
+// quoted or not — is unclassifiable: the serial scanner errors there,
+// and the conservative answer keeps verdicts identical via fallback.
+func classifyStartTag(data []byte, off int, lookup func([]byte) (int32, bool)) (Entry, bool) {
+	e := Entry{Off: off, Sym: -1, Kind: Start}
+	i := off + 1
+	for i < len(data) {
+		switch c := data[i]; c {
+		case '>':
+			e.End = i + 1
+			if data[i-1] == '/' {
+				e.Kind = StartEmpty
+			}
+			if lookup != nil {
+				name := nameAt(data[off+1 : i])
+				if local := localOf(name); len(local) > 0 {
+					if sym, ok := lookup(local); ok {
+						e.Sym = sym
+					}
+				}
+			}
+			return e, true
+		case '"', '\'':
+			k := bytes.IndexByte(data[i+1:], c)
+			if k < 0 {
+				return e, false
+			}
+			if bytes.IndexByte(data[i+1:i+1+k], '<') >= 0 {
+				return e, false
+			}
+			i += k + 2
+		case '<':
+			return e, false
+		default:
+			i++
+		}
+	}
+	return e, false
+}
+
+// classifyDirective scans a "<!DOCTYPE ...>"-style directive with the
+// serial scanner's rules: quoted angle brackets ignored, nested <...>
+// groups tracked by depth, comments inside skipped.
+func classifyDirective(data []byte, off int) (Entry, bool) {
+	e := Entry{Off: off, Sym: -1, Kind: Directive}
+	inquote := byte(0)
+	depth := 0
+	i := off + 2 // past "<!"; the first byte after is uninterpreted
+	for i < len(data) {
+		b := data[i]
+		i++
+		if inquote == 0 && b == '>' && depth == 0 {
+			e.End = i
+			return e, true
+		}
+		switch {
+		case b == inquote:
+			inquote = 0
+		case inquote != 0:
+		case b == '\'' || b == '"':
+			inquote = b
+		case b == '>' && depth > 0:
+			depth--
+		case b == '<':
+			if bytes.HasPrefix(data[i:], []byte("!--")) {
+				k := bytes.Index(data[i+3:], []byte("-->"))
+				if k < 0 {
+					return e, false
+				}
+				i += 3 + k + 3
+			} else {
+				depth++
+			}
+		}
+	}
+	return e, false
+}
+
+// nameAt returns the leading XML-name byte run of b (the tag name).
+func nameAt(b []byte) []byte {
+	i := 0
+	for i < len(b) && isNameByte(b[i]) {
+		i++
+	}
+	return b[:i]
+}
+
+// localOf strips a single namespace prefix, mirroring scan.splitName's
+// accepted shape; names it would reject return nil (Sym stays -1).
+func localOf(name []byte) []byte {
+	first := -1
+	n := 0
+	for i, c := range name {
+		if c == ':' {
+			if first < 0 {
+				first = i
+			}
+			n++
+		}
+	}
+	if n > 1 {
+		return nil
+	}
+	if n == 1 && first > 0 && first < len(name)-1 {
+		return name[first+1:]
+	}
+	return name
+}
+
+// isNameByte mirrors scan.isNameByte: single-byte characters allowed
+// inside names, with multi-byte runes accepted permissively.
+func isNameByte(c byte) bool {
+	return 'A' <= c && c <= 'Z' ||
+		'a' <= c && c <= 'z' ||
+		'0' <= c && c <= '9' ||
+		c == '_' || c == ':' || c == '.' || c == '-' ||
+		c >= 0x80
+}
+
+// stitch merges the per-chunk speculative entries into ix.Entries,
+// dropping entries invalidated by constructs that span chunk cuts,
+// rescanning desynchronised regions, assigning absolute depths, and
+// locating the root element.
+func (ix *Index) stitch(data []byte, chunks [][]Entry, anoms []int, chunkSize int, opts Options) error {
+	maxTok := opts.MaxTokenSize
+	cursor := 0
+	runStart := 0 // end of the last accepted construct: text-run origin
+	depth := int32(0)
+	rootClosed := false
+
+	accept := func(e Entry) error {
+		if maxTok > 0 {
+			if gap := e.Off - runStart; gap > maxTok {
+				return fmt.Errorf("%w (%d-byte text run)", ErrTokenTooLong, gap)
+			}
+			if ln := e.End - e.Off; ln > maxTok {
+				return fmt.Errorf("%w (%d-byte construct)", ErrTokenTooLong, ln)
+			}
+		}
+		e.Depth = depth
+		switch e.Kind {
+		case Start:
+			if depth == 0 {
+				if ix.RootStart >= 0 {
+					return fmt.Errorf("%w: content after the root element", ErrStructure)
+				}
+				ix.RootStart = len(ix.Entries)
+			}
+			depth++
+		case StartEmpty:
+			if depth == 0 {
+				// An empty-element root (or a second root): tiny content
+				// either way, not worth fragmenting.
+				return fmt.Errorf("%w: empty-element tag at depth 0", ErrStructure)
+			}
+		case End:
+			if depth == 0 {
+				return fmt.Errorf("%w: unbalanced end tag", ErrStructure)
+			}
+			// An End records the depth of the element it closes, so an
+			// element's Start and End entries carry the same Depth.
+			depth--
+			e.Depth = depth
+			if depth == 0 {
+				ix.RootEnd = len(ix.Entries)
+				rootClosed = true
+			}
+		}
+		ix.Entries = append(ix.Entries, e)
+		runStart = e.End
+		return nil
+	}
+
+	for ci := range chunks {
+		from := ci * chunkSize
+		to := from + chunkSize
+		if to > len(data) {
+			to = len(data)
+		}
+		ents := chunks[ci]
+		stop := to
+		if anoms[ci] >= 0 {
+			stop = anoms[ci]
+		}
+		i := 0
+		for {
+			for i < len(ents) && ents[i].Off < cursor {
+				i++
+			}
+			if cursor >= to {
+				break
+			}
+			// Is the cursor on ground this worker verified as text (no
+			// '<' between the previous construct end and the next entry)?
+			gapStart := from
+			if i > 0 {
+				gapStart = ents[i-1].End
+			}
+			if i < len(ents) {
+				if cursor >= gapStart {
+					if err := accept(ents[i]); err != nil {
+						return err
+					}
+					cursor = ents[i].End
+					i++
+					continue
+				}
+			} else if cursor >= gapStart && cursor <= stop {
+				if stop == to {
+					cursor = to
+					break // verified text to the chunk edge
+				}
+				// Verified up to the worker's anomaly: fall through to
+				// rescan at it (classification will fail the same way).
+				cursor = stop
+			}
+			// Desynchronised (or at an anomaly): rescan serially until the
+			// cursor lands back on verified ground.
+			j := bytes.IndexByte(data[cursor:], '<')
+			if j < 0 {
+				cursor = len(data)
+				break
+			}
+			e, ok := classifyAt(data, cursor+j, opts.Lookup)
+			if !ok {
+				return fmt.Errorf("%w: unclassifiable construct at byte %d", ErrStructure, cursor+j)
+			}
+			if err := accept(e); err != nil {
+				return err
+			}
+			cursor = e.End
+		}
+	}
+	if maxTok > 0 && len(data)-runStart > maxTok {
+		return fmt.Errorf("%w (%d-byte text run)", ErrTokenTooLong, len(data)-runStart)
+	}
+	if depth != 0 {
+		return fmt.Errorf("%w: %d unterminated element(s)", ErrStructure, depth)
+	}
+	if ix.RootStart < 0 || !rootClosed {
+		return fmt.Errorf("%w: no root element", ErrStructure)
+	}
+	return nil
+}

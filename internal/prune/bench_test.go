@@ -51,6 +51,11 @@ func benchStream(b *testing.B, eng Engine, pi dtd.NameSet, validate bool) {
 // low-selectivity projector, and the validating scanner must stay
 // within ~25% of the unvalidated one (dense DFAs keep validation on the
 // raw-copy and skip-scan fast paths).
+//
+// The parallel cases measure the two-stage intra-document pruner; the
+// auto cases measure EngineAuto's selection overhead — on a single-CPU
+// host auto resolves to the serial scanner and must stay within ~5% of
+// it (the cost of one size probe).
 func BenchmarkStreamPrune(b *testing.B) {
 	d := xmark.DTD()
 	for name, pi := range benchProjectors(d) {
@@ -59,5 +64,8 @@ func BenchmarkStreamPrune(b *testing.B) {
 		b.Run("decoder/"+name, func(b *testing.B) { benchStream(b, EngineDecoder, pi, false) })
 		b.Run("scanner-validate/"+name, func(b *testing.B) { benchStream(b, EngineScanner, pi, true) })
 		b.Run("decoder-validate/"+name, func(b *testing.B) { benchStream(b, EngineDecoder, pi, true) })
+		b.Run("parallel/"+name, func(b *testing.B) { benchStream(b, EngineParallel, pi, false) })
+		b.Run("parallel-validate/"+name, func(b *testing.B) { benchStream(b, EngineParallel, pi, true) })
+		b.Run("auto/"+name, func(b *testing.B) { benchStream(b, EngineAuto, pi, false) })
 	}
 }

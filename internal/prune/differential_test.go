@@ -1,9 +1,11 @@
 package prune
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -32,6 +34,17 @@ func mustDTD(t *testing.T) *dtd.DTD {
 	return d
 }
 
+// parallelVariants are the EngineParallel configurations every
+// differential corpus additionally runs under: single worker, several
+// workers with an adversarial stage-1 chunk size that cuts mid-tag, and
+// a tiny fragment target that forces many splice points on even the
+// smallest documents.
+var parallelVariants = []StreamOptions{
+	{Engine: EngineParallel, ParallelWorkers: 1},
+	{Engine: EngineParallel, ParallelWorkers: 4, ParallelChunkSize: 3},
+	{Engine: EngineParallel, ParallelWorkers: 3, ParallelFragTarget: 64},
+}
+
 func runBoth(t *testing.T, src string, d *dtd.DTD, pi dtd.NameSet, validate bool) {
 	t.Helper()
 	var sb, db strings.Builder
@@ -40,6 +53,26 @@ func runBoth(t *testing.T, src string, d *dtd.DTD, pi dtd.NameSet, validate bool
 	if (serr == nil) != (derr == nil) {
 		t.Fatalf("engines disagree on acceptance (validate=%v)\nscanner: %v\ndecoder: %v\ninput: %q",
 			validate, serr, derr, src)
+	}
+	for _, popts := range parallelVariants {
+		popts.Validate = validate
+		var pb strings.Builder
+		pst, perr := Stream(&pb, strings.NewReader(src), d, pi, popts)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("parallel engine disagrees on acceptance (validate=%v, workers=%d)\nscanner:  %v\nparallel: %v\ninput: %q",
+				validate, popts.ParallelWorkers, serr, perr, src)
+		}
+		if serr != nil {
+			continue
+		}
+		if pb.String() != sb.String() {
+			t.Fatalf("parallel engine disagrees on output (validate=%v, workers=%d)\nscanner:  %q\nparallel: %q\ninput: %q",
+				validate, popts.ParallelWorkers, sb.String(), pb.String(), src)
+		}
+		if pst != sst {
+			t.Fatalf("parallel engine disagrees on stats (validate=%v, workers=%d)\nscanner:  %+v\nparallel: %+v\ninput: %q",
+				validate, popts.ParallelWorkers, sst, pst, src)
+		}
 	}
 	if serr != nil {
 		return
@@ -54,9 +87,10 @@ func runBoth(t *testing.T, src string, d *dtd.DTD, pi dtd.NameSet, validate bool
 	}
 }
 
-func TestScannerMatchesDecoderFixed(t *testing.T) {
-	d := mustDTD(t)
-	docs := []string{
+var fixedBibDocs []string
+
+func init() {
+	fixedBibDocs = []string{
 		bibDoc,
 		`<bib/>`,
 		`<bib></bib>`,
@@ -73,6 +107,11 @@ func TestScannerMatchesDecoderFixed(t *testing.T) {
 		`<bib><book isbn="1"><title>a&lt;b<!--x-->mid<!--y-->c&gt;d</title><author>A</author></book></bib>`,
 		`<bib><book isbn="1"><title>plain<!--x-->a&lt;b<!--y-->tail</title><author>A</author></book></bib>`,
 	}
+}
+
+func TestScannerMatchesDecoderFixed(t *testing.T) {
+	d := mustDTD(t)
+	docs := fixedBibDocs
 	pis := []dtd.NameSet{
 		dtd.NewNameSet("bib", "book", "title", "title#text", "author", "author#text", "year", "year#text", "book@isbn", "book@lang"),
 		dtd.NewNameSet("bib", "book", "title", "title#text"),
@@ -152,7 +191,7 @@ func TestScannerMalformed(t *testing.T) {
 		`<notdeclared/>`,                           // undeclared element
 	}
 	for _, src := range cases {
-		for _, eng := range []Engine{EngineScanner, EngineDecoder} {
+		for _, eng := range []Engine{EngineScanner, EngineDecoder, EngineParallel} {
 			var sb strings.Builder
 			_, err := Stream(&sb, strings.NewReader(src), d, pi, StreamOptions{Engine: eng})
 			if err == nil {
@@ -235,6 +274,133 @@ func TestStreamMaxTokenSize(t *testing.T) {
 	}
 }
 
+// TestParallelEngineAdversarialChunks sweeps worker counts against
+// stage-1 chunk sizes down to a single byte — every cut lands mid-tag,
+// mid-CDATA or mid-comment somewhere in the corpus — and requires the
+// parallel engine to match the serial scanner byte for byte.
+func TestParallelEngineAdversarialChunks(t *testing.T) {
+	d := mustDTD(t)
+	pi := dtd.NewNameSet("bib", "book", "title", "title#text", "author", "author#text", "book@isbn")
+	for _, doc := range fixedBibDocs {
+		var sb strings.Builder
+		sst, serr := Stream(&sb, strings.NewReader(doc), d, pi, StreamOptions{Engine: EngineScanner})
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, chunk := range []int{1, 2, 5} {
+				var pb strings.Builder
+				pst, perr := Stream(&pb, strings.NewReader(doc), d, pi, StreamOptions{
+					Engine:             EngineParallel,
+					ParallelWorkers:    workers,
+					ParallelChunkSize:  chunk,
+					ParallelFragTarget: 1,
+				})
+				if (serr == nil) != (perr == nil) {
+					t.Fatalf("w=%d chunk=%d: verdicts diverge: scanner=%v parallel=%v\ninput: %q",
+						workers, chunk, serr, perr, doc)
+				}
+				if serr != nil {
+					continue
+				}
+				if pb.String() != sb.String() {
+					t.Fatalf("w=%d chunk=%d: output diverges\nscanner:  %q\nparallel: %q\ninput: %q",
+						workers, chunk, sb.String(), pb.String(), doc)
+				}
+				if pst != sst {
+					t.Fatalf("w=%d chunk=%d: stats diverge\nscanner:  %+v\nparallel: %+v",
+						workers, chunk, sst, pst)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEngineMaxTokenSize: the oversized token is caught by the
+// stage-1 index bound — before any fragment worker would buffer it —
+// not by a fallback to the serial scanner.
+func TestParallelEngineMaxTokenSize(t *testing.T) {
+	d := mustDTD(t)
+	pi := dtd.NewNameSet("bib", "book", "title", "title#text", "author", "author#text", "book@isbn")
+	big := `<bib><book isbn="1"><title>` + strings.Repeat("x", 512<<10) +
+		`</title><author>A</author></book></bib>`
+	var det ParallelDetail
+	var sb strings.Builder
+	_, err := Stream(&sb, strings.NewReader(big), d, pi, StreamOptions{
+		Engine: EngineParallel, MaxTokenSize: 256 << 10, Detail: &det,
+	})
+	if !errors.Is(err, scan.ErrTokenTooLong) {
+		t.Fatalf("capped parallel prune: want ErrTokenTooLong, got %v", err)
+	}
+	if det.Fallback {
+		t.Fatal("oversized token should fail in the index stage, not via serial fallback")
+	}
+	sb.Reset()
+	if _, err := Stream(&sb, strings.NewReader(big), d, pi, StreamOptions{Engine: EngineParallel, Detail: &det}); err != nil {
+		t.Fatalf("default cap rejected a 512KiB token: %v", err)
+	}
+	if !strings.Contains(sb.String(), strings.Repeat("x", 512<<10)) {
+		t.Fatal("oversized token mangled in parallel output")
+	}
+}
+
+// TestStreamAutoSelectsParallel: EngineAuto upgrades to the parallel
+// pruner only for large inputs of known size on multi-CPU hosts, and the
+// upgraded run matches the serial scanner byte for byte.
+func TestStreamAutoSelectsParallel(t *testing.T) {
+	d := mustDTD(t)
+	pi := dtd.NewNameSet("bib", "book", "title", "title#text", "book@isbn")
+	entry := `<book isbn="1"><title>T` + strings.Repeat("x", 200) +
+		`</title><author>A</author></book>`
+	var b strings.Builder
+	b.WriteString(`<bib>`)
+	for b.Len() < parallelMinBytes {
+		b.WriteString(entry)
+	}
+	b.WriteString(`</bib>`)
+	big := b.String()
+
+	var det ParallelDetail
+	var pb strings.Builder
+	pst, err := Stream(&pb, strings.NewReader(big), d, pi, StreamOptions{Detail: &det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi := runtime.GOMAXPROCS(0) > 1; multi != (det.Workers > 0) {
+		t.Fatalf("auto-selection: GOMAXPROCS>1=%v but parallel-ran=%v", multi, det.Workers > 0)
+	}
+	var sb strings.Builder
+	sst, err := Stream(&sb, strings.NewReader(big), d, pi, StreamOptions{Engine: EngineScanner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.String() != sb.String() {
+		t.Fatal("auto-selected engine output diverges from the serial scanner")
+	}
+	if pst != sst {
+		t.Fatalf("auto-selected engine stats diverge\nscanner: %+v\nauto:    %+v", sst, pst)
+	}
+
+	// A small input of known size stays on the serial scanner.
+	det = ParallelDetail{}
+	var small strings.Builder
+	if _, err := Stream(&small, strings.NewReader(bibDoc), d, pi, StreamOptions{Detail: &det}); err != nil {
+		t.Fatal(err)
+	}
+	if det.Workers != 0 {
+		t.Fatal("auto-selection used the parallel pruner on a small input")
+	}
+	// An input of unknown size stays on the serial scanner too.
+	det = ParallelDetail{}
+	var unsized strings.Builder
+	if _, err := Stream(&unsized, bufio.NewReader(strings.NewReader(big)), d, pi, StreamOptions{Detail: &det}); err != nil {
+		t.Fatal(err)
+	}
+	if det.Workers != 0 {
+		t.Fatal("auto-selection used the parallel pruner on an unsized reader")
+	}
+	if unsized.String() != sb.String() {
+		t.Fatal("unsized-reader output diverges")
+	}
+}
+
 // TestStreamAutoSniffsUTF16 routes byte-order-marked input to the
 // decoder path, which rejects it as an unhandled charset rather than
 // tripping the byte scanner on binary noise.
@@ -258,25 +424,30 @@ func FuzzStreamDifferential(f *testing.F) {
 		f.Fatal(err)
 	}
 	pi := dtd.NewNameSet("bib", "book", "title", "title#text", "author", "author#text", "book@isbn")
-	f.Add(bibDoc)
-	f.Add(`<bib><book isbn="1"><title>T</title><author>A</author></book></bib>`)
-	f.Add(`<?xml version="1.0"?><bib><!--c--><book isbn="&lt;"><title><![CDATA[x]]></title></book></bib>`)
-	f.Add(`<bib>&#65;&amp;</bib>`)
-	f.Add(`<bib><book isbn="1"></bib>`)
-	f.Add(`<bib>&amp</bib>`)
-	f.Add(`<bib>]]></bib>`)
-	f.Add(`<bib><![CDATA[x</bib>`)
-	f.Add(`<bib xmlns:p="u"><p:book isbn="1"/></bib>`)
-	f.Add(`<bib><book isbn="1"><title>a&lt;b<!--x-->mid<!--y-->c&gt;d</title></book></bib>`)
+	f.Add(bibDoc, uint16(0))
+	f.Add(`<bib><book isbn="1"><title>T</title><author>A</author></book></bib>`, uint16(7))
+	f.Add(`<?xml version="1.0"?><bib><!--c--><book isbn="&lt;"><title><![CDATA[x]]></title></book></bib>`, uint16(3))
+	f.Add(`<bib>&#65;&amp;</bib>`, uint16(1))
+	f.Add(`<bib><book isbn="1"></bib>`, uint16(2))
+	f.Add(`<bib>&amp</bib>`, uint16(5))
+	f.Add(`<bib>]]></bib>`, uint16(4))
+	f.Add(`<bib><![CDATA[x</bib>`, uint16(6))
+	f.Add(`<bib xmlns:p="u"><p:book isbn="1"/></bib>`, uint16(0))
+	f.Add(`<bib><book isbn="1"><title>a&lt;b<!--x-->mid<!--y-->c&gt;d</title></book></bib>`, uint16(9))
 	// Well-formed but DTD-invalid: the validated run must reject these on
 	// both engines (and the unvalidated run must still match byte for byte).
-	f.Add(`<bib><book isbn="1"><author>A</author><title>T</title></book></bib>`)
-	f.Add(`<bib><book isbn="1"><title>T</title></book></bib>`)
-	f.Add(`<bib>stray<book isbn="1"><title>T</title><author>A</author></book></bib>`)
-	f.Add(`<bib><book><title>T</title><author>A</author></book></bib>`)
-	f.Add(`<bib><book isbn="1" lang="de"><title>T</title><author>A</author></book></bib>`)
-	f.Add(`<bib><book isbn="1"/></bib>`)
-	f.Fuzz(func(t *testing.T, src string) {
+	f.Add(`<bib><book isbn="1"><author>A</author><title>T</title></book></bib>`, uint16(0))
+	f.Add(`<bib><book isbn="1"><title>T</title></book></bib>`, uint16(11))
+	f.Add(`<bib>stray<book isbn="1"><title>T</title><author>A</author></book></bib>`, uint16(1))
+	f.Add(`<bib><book><title>T</title><author>A</author></book></bib>`, uint16(0))
+	f.Add(`<bib><book isbn="1" lang="de"><title>T</title><author>A</author></book></bib>`, uint16(8))
+	f.Add(`<bib><book isbn="1"/></bib>`, uint16(2))
+	// Chunk sizes chosen so a stage-1 cut straddles a tag, a CDATA
+	// terminator, a comment close and an entity reference.
+	f.Add(`<bib><book isbn="1"><title><![CDATA[a]]b]]></title><author>A</author></book></bib>`, uint16(13))
+	f.Add(`<bib><!-- straddle --><book isbn="1"><title>t</title><author>&#x41;</author></book></bib>`, uint16(10))
+	f.Add(`<bib><book isbn='s'><title>a</title><author>b</author></book><book isbn="t"><title>c</title><author>d</author></book></bib>`, uint16(17))
+	f.Fuzz(func(t *testing.T, src string, chunk uint16) {
 		// End tags are matched by resolved namespace in encoding/xml but
 		// by literal prefix in the scanner; inputs that bind prefixes are
 		// outside the differential contract.
@@ -290,6 +461,12 @@ func FuzzStreamDifferential(f *testing.F) {
 			t.Fatalf("engines disagree on acceptance\nscanner: %v\ndecoder: %v", serr, derr)
 		}
 		if serr != nil {
+			var pb strings.Builder
+			if _, perr := Stream(&pb, strings.NewReader(src), d, pi, StreamOptions{
+				Engine: EngineParallel, ParallelWorkers: 4, ParallelChunkSize: int(chunk), ParallelFragTarget: 1,
+			}); perr == nil {
+				t.Fatalf("parallel engine accepted input the scanner rejects (chunk=%d): %q", chunk, src)
+			}
 			return
 		}
 		if sb.String() != db.String() {
@@ -301,13 +478,45 @@ func FuzzStreamDifferential(f *testing.F) {
 		// Validation must also agree — raw-copy windows stay on under
 		// validation, so this exercises the fused fast path too.
 		var sv, dv strings.Builder
-		_, serr = Stream(&sv, strings.NewReader(src), d, pi, StreamOptions{Validate: true, Engine: EngineScanner})
-		_, derr = Stream(&dv, strings.NewReader(src), d, pi, StreamOptions{Validate: true, Engine: EngineDecoder})
-		if (serr == nil) != (derr == nil) {
-			t.Fatalf("engines disagree on acceptance under validation\nscanner: %v\ndecoder: %v", serr, derr)
+		_, sverr := Stream(&sv, strings.NewReader(src), d, pi, StreamOptions{Validate: true, Engine: EngineScanner})
+		_, dverr := Stream(&dv, strings.NewReader(src), d, pi, StreamOptions{Validate: true, Engine: EngineDecoder})
+		if (sverr == nil) != (dverr == nil) {
+			t.Fatalf("engines disagree on acceptance under validation\nscanner: %v\ndecoder: %v", sverr, dverr)
 		}
-		if serr == nil && sv.String() != dv.String() {
+		if sverr == nil && sv.String() != dv.String() {
 			t.Fatalf("engines disagree on validated output\nscanner: %q\ndecoder: %q", sv.String(), dv.String())
+		}
+		// The parallel engine, under the fuzzed stage-1 chunk size and a
+		// fragment target that forces splices, must match the scanner's
+		// verdict, bytes and stats — validated and not.
+		for _, validate := range []bool{false, true} {
+			wantErr, wantOut, wantStats := serr, sb.String(), sst
+			if validate {
+				wantErr, wantOut = sverr, sv.String()
+			}
+			var pb strings.Builder
+			pst, perr := Stream(&pb, strings.NewReader(src), d, pi, StreamOptions{
+				Validate:           validate,
+				Engine:             EngineParallel,
+				ParallelWorkers:    4,
+				ParallelChunkSize:  int(chunk),
+				ParallelFragTarget: 1,
+			})
+			if (wantErr == nil) != (perr == nil) {
+				t.Fatalf("parallel engine disagrees on acceptance (validate=%v, chunk=%d)\nscanner:  %v\nparallel: %v",
+					validate, chunk, wantErr, perr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if pb.String() != wantOut {
+				t.Fatalf("parallel engine disagrees on output (validate=%v, chunk=%d)\nscanner:  %q\nparallel: %q",
+					validate, chunk, wantOut, pb.String())
+			}
+			if !validate && pst != wantStats {
+				t.Fatalf("parallel engine disagrees on stats (chunk=%d)\nscanner:  %+v\nparallel: %+v",
+					chunk, wantStats, pst)
+			}
 		}
 	})
 }

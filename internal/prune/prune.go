@@ -14,8 +14,11 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
 	"strings"
 	"sync"
+	"time"
 	"unicode"
 	"unicode/utf8"
 
@@ -93,6 +96,18 @@ type Stats struct {
 	MaxDepth int
 }
 
+// fold copies a scanner-path Stats into the public struct (BytesOut is
+// accounted separately by the counting writer).
+func (st *Stats) fold(sst scan.Stats) {
+	st.ElementsIn = sst.ElementsIn
+	st.ElementsOut = sst.ElementsOut
+	st.TextIn = sst.TextIn
+	st.TextOut = sst.TextOut
+	st.ElementsSkipped = sst.ElementsSkipped
+	st.TextSkipped = sst.TextSkipped
+	st.MaxDepth = sst.MaxDepth
+}
+
 // Engine selects the tokenizer behind Stream.
 type Engine int
 
@@ -107,7 +122,32 @@ const (
 	// reference implementation: the scanner's output and stats are
 	// differentially tested against it.
 	EngineDecoder
+	// EngineParallel forces the two-stage parallel pruner: a parallel
+	// structural index over byte chunks, concurrent fragment pruning,
+	// and a sequential splice pass — byte-identical output and identical
+	// verdicts to EngineScanner. The whole input is buffered in memory.
+	// EngineAuto selects it for large inputs of known size when more
+	// than one CPU is available.
+	EngineParallel
 )
+
+// ParallelDetail reports how an EngineParallel prune executed.
+type ParallelDetail struct {
+	// IndexTime, PruneTime and StitchTime are the wall times of the
+	// structural-index stage, the concurrent fragment stage, and the
+	// sequential splice pass.
+	IndexTime, PruneTime, StitchTime time.Duration
+	// Workers is the resolved worker count; Tasks the number of content
+	// ranges pruned concurrently.
+	Workers, Tasks int
+	// Fallback reports that the input was handed to the serial scanner
+	// (structure the index cannot describe, or a tiny token cap).
+	Fallback bool
+}
+
+// parallelMinBytes is the input size below which EngineAuto does not
+// bother with the parallel pruner.
+const parallelMinBytes = 4 << 20
 
 // StreamOptions configures a streaming prune.
 type StreamOptions struct {
@@ -128,6 +168,15 @@ type StreamOptions struct {
 	// pair instead of once per document. It must have been compiled from
 	// the same DTD and π passed to Stream.
 	Projection *dtd.Projection
+	// ParallelWorkers bounds EngineParallel's concurrency (0 means
+	// GOMAXPROCS); ParallelChunkSize and ParallelFragTarget override the
+	// stage-1 chunk granularity and the per-fragment target size.
+	ParallelWorkers    int
+	ParallelChunkSize  int
+	ParallelFragTarget int
+	// Detail, when non-nil, receives per-stage execution details of an
+	// EngineParallel prune.
+	Detail *ParallelDetail
 }
 
 // Stream prunes the XML document read from src against π, writing the
@@ -153,15 +202,67 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 	}()
 
 	eng := opts.Engine
+	// The input size must be probed before the sniff below wraps src in a
+	// MultiReader that hides the concrete reader type.
+	size, sizeKnown := inputSize(src)
 	if eng == EngineAuto {
 		var hdr [4]byte
 		n, _ := io.ReadFull(src, hdr[:])
 		src = io.MultiReader(bytes.NewReader(hdr[:n]), src)
-		if looksNonUTF8(hdr[:n]) {
+		switch {
+		case looksNonUTF8(hdr[:n]):
 			eng = EngineDecoder
-		} else {
+		case sizeKnown && size >= parallelMinBytes && runtime.GOMAXPROCS(0) > 1:
+			eng = EngineParallel
+		default:
 			eng = EngineScanner
 		}
+	}
+	if eng == EngineParallel {
+		proj := opts.Projection
+		if proj == nil {
+			proj = d.CompileProjection(pi)
+		}
+		buf := inputPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		if sizeKnown && size > 0 && size < int64(int(^uint(0)>>1)) {
+			buf.Grow(int(size))
+		}
+		if _, rerr := buf.ReadFrom(src); rerr != nil {
+			inputPool.Put(buf)
+			return stats, fmt.Errorf("prune: %w", rerr)
+		}
+		sst, det, err := scan.PruneParallel(bw, buf.Bytes(), d, proj, scan.ParallelOptions{
+			Options: scan.Options{
+				Validate:     opts.Validate,
+				RawCopy:      true,
+				MaxTokenSize: opts.MaxTokenSize,
+			},
+			Workers:    opts.ParallelWorkers,
+			ChunkSize:  opts.ParallelChunkSize,
+			FragTarget: opts.ParallelFragTarget,
+		})
+		if buf.Cap() <= maxPooledInput {
+			inputPool.Put(buf)
+		}
+		if opts.Detail != nil {
+			*opts.Detail = ParallelDetail{
+				IndexTime:  time.Duration(det.IndexNanos),
+				PruneTime:  time.Duration(det.PruneNanos),
+				StitchTime: time.Duration(det.StitchNanos),
+				Workers:    det.Workers,
+				Tasks:      det.Tasks,
+				Fallback:   det.Fallback,
+			}
+		}
+		stats.fold(sst)
+		if err != nil {
+			return stats, fmt.Errorf("prune: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return stats, fmt.Errorf("prune: %w", err)
+		}
+		return stats, nil
 	}
 	if eng == EngineScanner {
 		proj := opts.Projection
@@ -173,13 +274,7 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 			RawCopy:      true,
 			MaxTokenSize: opts.MaxTokenSize,
 		})
-		stats.ElementsIn = sst.ElementsIn
-		stats.ElementsOut = sst.ElementsOut
-		stats.TextIn = sst.TextIn
-		stats.TextOut = sst.TextOut
-		stats.ElementsSkipped = sst.ElementsSkipped
-		stats.TextSkipped = sst.TextSkipped
-		stats.MaxDepth = sst.MaxDepth
+		stats.fold(sst)
 		if err != nil {
 			return stats, fmt.Errorf("prune: %w", err)
 		}
@@ -475,11 +570,52 @@ func hasAttr(attrs []xml.Attr, name string) bool {
 	return false
 }
 
+// Sizer lets a wrapping reader (a counting reader, an instrumented
+// stream) forward the size of its underlying input so EngineAuto can
+// still consider the parallel pruner.
+type Sizer interface {
+	InputSize() (size int64, known bool)
+}
+
+// InputSize reports the number of unread bytes in src when its concrete
+// type (bytes/strings readers, regular files) or a Sizer implementation
+// exposes it — the signal EngineAuto uses to decide whether a parallel
+// prune is worth buffering the input.
+func InputSize(src io.Reader) (int64, bool) { return inputSize(src) }
+
+func inputSize(src io.Reader) (int64, bool) {
+	switch r := src.(type) {
+	case Sizer:
+		return r.InputSize()
+	case *bytes.Reader:
+		return int64(r.Len()), true
+	case *strings.Reader:
+		return int64(r.Len()), true
+	case *os.File:
+		cur, err := r.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return 0, false
+		}
+		fi, err := r.Stat()
+		if err != nil || !fi.Mode().IsRegular() || fi.Size() < cur {
+			return 0, false
+		}
+		return fi.Size() - cur, true
+	}
+	return 0, false
+}
+
 // bwPool recycles the output buffers across prunes; a batch of small
 // documents would otherwise allocate a 64 KiB buffer each.
 var bwPool = sync.Pool{New: func() any {
 	return bufio.NewWriterSize(io.Discard, 1<<16)
 }}
+
+// inputPool recycles EngineParallel's whole-document input buffers.
+// Buffers above maxPooledInput are dropped rather than pinned.
+var inputPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledInput = 64 << 20
 
 type countingWriter struct {
 	w io.Writer

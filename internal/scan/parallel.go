@@ -1,0 +1,323 @@
+package scan
+
+// Two-stage parallel pruner. Stage 1 (internal/index) builds a
+// structural index of the whole document in parallel. The planner then
+// cuts the index into content ranges — children of the root, recursing
+// into dominant subtrees, kept or skipped alike — and a worker pool
+// prunes each range concurrently with the ordinary pruner machinery
+// over zero-copy sub-slices (ResetBytes). Finally the serial "spine"
+// pruner runs over the document with a splice set: everything outside
+// the delegated ranges (prolog, context start/end tags, stray text) is
+// processed exactly as in a serial prune, and at each cut point the
+// pre-computed fragment result is folded in — output bytes
+// concatenated in order, context-level validation events replayed
+// through the live content-model DFA, stats summed — and the scanner
+// jumps past the range. Output and verdicts are byte-for-byte those of
+// the serial pruner.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"xmlproj/internal/dtd"
+	"xmlproj/internal/index"
+)
+
+// ParallelOptions configures PruneParallel.
+type ParallelOptions struct {
+	Options
+	// Workers bounds both stage-1 indexing and stage-2 fragment
+	// concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// ChunkSize overrides the stage-1 byte-chunk granularity (0 = auto).
+	ChunkSize int
+	// FragTarget overrides the per-fragment target size in bytes
+	// (0 = auto from input size and worker count). Tests use tiny values
+	// to force many fragments on small documents.
+	FragTarget int
+}
+
+// ParallelDetail reports how a parallel prune was executed.
+type ParallelDetail struct {
+	// IndexNanos, PruneNanos and StitchNanos are the wall times of the
+	// structural-index stage, the parallel fragment stage, and the
+	// sequential spine/splice pass.
+	IndexNanos, PruneNanos, StitchNanos int64
+	// Workers is the resolved worker count; Tasks the number of
+	// delegated content ranges.
+	Workers, Tasks int
+	// Fallback is true when the input was handed to the serial pruner
+	// (unindexable structure, or a token cap too small for the parallel
+	// invariants).
+	Fallback bool
+}
+
+// PruneParallel prunes data with the two-stage parallel pruner, writing
+// output byte-identical to Prune's to bw. Inputs the structural index
+// cannot describe fall back to the serial pruner, which reproduces the
+// exact serial verdict.
+func PruneParallel(bw *bufio.Writer, data []byte, d *dtd.DTD, proj *dtd.Projection, opts ParallelOptions) (Stats, ParallelDetail, error) {
+	var det ParallelDetail
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	det.Workers = workers
+	maxTok := opts.MaxTokenSize
+	if maxTok <= 0 {
+		maxTok = DefaultMaxTokenSize
+	}
+	serial := func() (Stats, ParallelDetail, error) {
+		det.Fallback = true
+		st, err := Prune(bw, bytes.NewReader(data), d, proj, opts.Options)
+		return st, det, err
+	}
+	if maxTok < 2*windowFlushSize {
+		// A cap this tight interacts with the serial scanner's buffer
+		// growth in ways stage 1's per-construct bound does not
+		// reproduce; the serial pruner gives the exact verdict.
+		return serial()
+	}
+
+	t0 := time.Now()
+	ix, err := index.Build(data, index.Options{
+		Workers:      workers,
+		ChunkSize:    opts.ChunkSize,
+		MaxTokenSize: maxTok,
+		Lookup:       proj.Syms.Lookup,
+	})
+	det.IndexNanos = time.Since(t0).Nanoseconds()
+	if err != nil {
+		if errors.Is(err, index.ErrTokenTooLong) {
+			// Matches the serial scanner's cap, detected before any
+			// fragment buffers the oversized token.
+			return Stats{}, det, fmt.Errorf("%w: %v", ErrTokenTooLong, err)
+		}
+		return serial()
+	}
+	defer ix.Release()
+
+	tasks := plan(ix, len(data), proj, workers, opts.FragTarget)
+	det.Tasks = len(tasks)
+
+	t1 := time.Now()
+	if len(tasks) > 0 {
+		runTasks(data, d, proj, opts.Options, tasks, workers)
+	}
+	det.PruneNanos = time.Since(t1).Nanoseconds()
+
+	t2 := time.Now()
+	spineOpts := opts.Options
+	if len(tasks) > 0 {
+		// Raw-copy windows must not ride across splice jumps; fragments
+		// still use them internally, and window output is byte-identical
+		// to the plain path, so disabling them on the (tiny) spine
+		// changes nothing observable.
+		spineOpts.RawCopy = false
+	}
+	pr := prunerPool.Get().(*pruner)
+	pr.reset(bw, nil, d, proj, spineOpts)
+	pr.s.ResetBytes(data)
+	if len(tasks) > 0 {
+		pr.sp = &spliceSet{tasks: tasks}
+	}
+	err = pr.run()
+	st := pr.st
+	pr.release()
+	prunerPool.Put(pr)
+	det.StitchNanos = time.Since(t2).Nanoseconds()
+
+	for _, t := range tasks {
+		if t.res.out != nil {
+			fragBufPool.Put(t.res.out)
+			t.res.out = nil
+		}
+	}
+	return st, det, err
+}
+
+var fragBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+var fragBwPool = sync.Pool{New: func() any {
+	return bufio.NewWriterSize(nil, 32<<10)
+}}
+
+// runTasks prunes the delegated ranges on a worker pool.
+func runTasks(data []byte, d *dtd.DTD, proj *dtd.Projection, opts Options, tasks []*fragTask, workers int) {
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	ch := make(chan *fragTask)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				runTask(data, d, proj, opts, t)
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+}
+
+func runTask(data []byte, d *dtd.DTD, proj *dtd.Projection, opts Options, t *fragTask) {
+	pr := prunerPool.Get().(*pruner)
+	if t.skip {
+		bw := fragBwPool.Get().(*bufio.Writer)
+		pr.reset(bw, nil, d, proj, opts) // skip fragments never write
+		pr.s.ResetBytes(data[t.lo:t.hi])
+		t.res.err = pr.runSkipFragment()
+		t.res.st = pr.st
+		fragBwPool.Put(bw)
+	} else {
+		buf := fragBufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		bw := fragBwPool.Get().(*bufio.Writer)
+		bw.Reset(buf)
+		pr.reset(bw, nil, d, proj, opts)
+		pr.s.ResetBytes(data[t.lo:t.hi])
+		t.res.err = pr.runFragment(t.ctxSym, t.ctxBase)
+		bw.Flush()
+		bw.Reset(nil)
+		fragBwPool.Put(bw)
+		t.res.st = pr.st
+		t.res.events = append([]int32(nil), pr.events...)
+		t.res.out = buf
+	}
+	pr.release()
+	prunerPool.Put(pr)
+}
+
+// planner cuts the structural index into delegated content ranges.
+type planner struct {
+	ents        []index.Entry
+	match       []int // Start entry index -> its End entry index
+	p           *dtd.Projection
+	target      int
+	depthBudget int
+	tasks       []*fragTask
+}
+
+// plan builds the task list: content ranges cut at element-tag
+// boundaries, grouped to roughly target bytes, recursing into children
+// larger than twice the target so a handful of dominant subtrees (an
+// XMark root has only six children) still decompose across workers.
+func plan(ix *index.Index, dataLen int, proj *dtd.Projection, workers, fragTarget int) []*fragTask {
+	if ix.RootStart < 0 || ix.RootEnd <= ix.RootStart {
+		return nil
+	}
+	root := ix.Entries[ix.RootStart]
+	if root.Sym < 0 {
+		// Undeclared root: the spine errors at the tag before any splice.
+		return nil
+	}
+	target := fragTarget
+	if target <= 0 {
+		target = dataLen / (workers * 8)
+		const minTarget, maxTarget = 128 << 10, 8 << 20
+		if target < minTarget {
+			target = minTarget
+		}
+		if target > maxTarget {
+			target = maxTarget
+		}
+	}
+	pl := &planner{
+		ents:        ix.Entries,
+		match:       buildMatch(ix.Entries),
+		p:           proj,
+		target:      target,
+		depthBudget: 64,
+	}
+	kept := proj.Flags(root.Sym)&dtd.KeepElem != 0
+	pl.content(ix.RootStart, kept, root.Sym)
+	return pl.tasks
+}
+
+// buildMatch pairs every Start entry with its End entry.
+func buildMatch(ents []index.Entry) []int {
+	match := make([]int, len(ents))
+	var stack []int
+	for i := range ents {
+		switch ents[i].Kind {
+		case index.Start:
+			stack = append(stack, i)
+		case index.End:
+			j := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			match[j] = i
+		}
+	}
+	return match
+}
+
+// content plans the content of the element whose Start entry is pi,
+// emitting tasks in document order.
+func (pl *planner) content(pi int, kept bool, sym int32) {
+	pd := pl.ents[pi].Depth
+	end := pl.match[pi]
+	endOff := pl.ents[end].Off // the parent's end tag: a valid cut point
+	ctxBase := int(pd) + 1
+
+	groupLo, acc := -1, 0
+	closeAt := func(off int) {
+		if groupLo >= 0 && off > groupLo {
+			pl.tasks = append(pl.tasks, &fragTask{
+				lo: groupLo, hi: off,
+				skip:    !kept,
+				ctxSym:  sym,
+				ctxBase: ctxBase,
+			})
+		}
+		groupLo, acc = -1, 0
+	}
+
+	i := pi + 1
+	for i < end {
+		e := &pl.ents[i]
+		if e.Depth != pd+1 || (e.Kind != index.Start && e.Kind != index.StartEmpty) {
+			// Comments, PIs, CDATA and deeper entries are not cut points;
+			// they ride inside whichever range covers them.
+			i++
+			continue
+		}
+		var spanEnd, next int
+		if e.Kind == index.StartEmpty {
+			spanEnd, next = e.End, i+1
+		} else {
+			m := pl.match[i]
+			spanEnd, next = pl.ents[m].End, m+1
+		}
+		size := spanEnd - e.Off
+		if acc >= pl.target {
+			closeAt(e.Off)
+		}
+		if e.Kind == index.Start && size > 2*pl.target && pl.depthBudget > 0 &&
+			(!kept || e.Sym >= 0) {
+			// Dominant subtree: the spine handles its start and end tags;
+			// its content decomposes recursively.
+			closeAt(e.Off)
+			childKept := kept && e.Sym >= 0 && pl.p.Flags(e.Sym)&dtd.KeepElem != 0
+			pl.depthBudget--
+			pl.content(i, childKept, e.Sym)
+			pl.depthBudget++
+			i = next
+			continue
+		}
+		if groupLo < 0 {
+			groupLo = e.Off
+		}
+		acc += size
+		i = next
+	}
+	closeAt(endOff)
+}

@@ -68,6 +68,9 @@ func (pr *pruner) reset(bw *bufio.Writer, src io.Reader, d *dtd.DTD, proj *dtd.P
 	pr.win, pr.winDepth, pr.openInWin, pr.openRel = false, 0, false, 0
 	pr.skipBuf = pr.skipBuf[:0]
 	pr.skipOffs = pr.skipOffs[:0]
+	pr.mode, pr.ctxBase = modeNormal, 0
+	pr.events = pr.events[:0]
+	pr.sp = nil
 }
 
 // release drops references to per-prune inputs so the pool does not pin
@@ -132,11 +135,38 @@ type pruner struct {
 	// growable buffer to stay allocation-free in steady state.
 	skipBuf  []byte
 	skipOffs []int
+
+	// Parallel-prune state. mode selects the pruner's role: modeNormal is
+	// the plain serial pruner (also the spine of a parallel prune, when
+	// sp is set); modeFragment prunes one content range of a kept context
+	// element, recording child-level symbols in events instead of walking
+	// the context element's content-model DFA (the spine replays them at
+	// the splice point, in document order). ctxBase is the seeded stack
+	// depth a fragment starts and must end at.
+	mode    uint8
+	ctxBase int
+	events  []int32
+	sp      *spliceSet
 }
+
+const (
+	modeNormal uint8 = iota
+	modeFragment
+)
+
+// eventText marks a logical text run in a fragment's event stream; other
+// values are child element symbols.
+const eventText int32 = -1
 
 func (pr *pruner) run() error {
 	s := pr.s
 	for {
+		if pr.sp != nil && pr.sp.at(s.pos) {
+			if err := pr.applySplice(); err != nil {
+				return err
+			}
+			continue
+		}
 		var tokRel int
 		if pr.win {
 			tokRel = s.pos - s.mark
@@ -223,6 +253,21 @@ func (pr *pruner) run() error {
 			s.clearMark()
 		}
 	}
+	if pr.mode == modeFragment {
+		// The cut rule guarantees the byte after this range is an element
+		// tag, where the serial pruner would flush the pending text run.
+		if err := pr.flushText(); err != nil {
+			return err
+		}
+		if pr.win {
+			pr.closeWindow()
+		}
+		if len(pr.stack) != pr.ctxBase {
+			top := pr.stack[len(pr.stack)-1]
+			return fmt.Errorf("unterminated element %s", pr.p.Syms.Info(top.sym).Name)
+		}
+		return nil
+	}
 	if len(pr.stack) != 0 {
 		top := pr.stack[len(pr.stack)-1]
 		return fmt.Errorf("unterminated element %s", pr.p.Syms.Info(top.sym).Name)
@@ -304,12 +349,18 @@ func (pr *pruner) flushText() error {
 	pr.st.TextIn++
 	top := &pr.stack[len(pr.stack)-1]
 	if pr.opts.Validate {
-		next := top.aut.NextText(top.state)
-		if next < 0 {
-			pr.textBuf = pr.textBuf[:0]
-			return fmt.Errorf("text content not allowed in %s", pr.p.Syms.Info(top.sym).Name)
+		if pr.mode == modeFragment && len(pr.stack) == pr.ctxBase {
+			// The context element's incoming DFA state is unknown here;
+			// record the event for the spine to replay at the splice.
+			pr.events = append(pr.events, eventText)
+		} else {
+			next := top.aut.NextText(top.state)
+			if next < 0 {
+				pr.textBuf = pr.textBuf[:0]
+				return fmt.Errorf("text content not allowed in %s", pr.p.Syms.Info(top.sym).Name)
+			}
+			top.state = next
 		}
-		top.state = next
 	}
 	if pr.p.Flags(top.sym)&dtd.KeepText != 0 {
 		pr.closeOpen()
@@ -442,6 +493,10 @@ func (pr *pruner) startTag(tokRel int) error {
 			if info.Name != pr.d.Root {
 				return fmt.Errorf("root element is %s, DTD requires %s", info.Name, pr.d.Root)
 			}
+		} else if pr.mode == modeFragment && len(pr.stack) == pr.ctxBase {
+			// A child of the fragment's context element: its transition in
+			// the context DFA is replayed by the spine at the splice point.
+			pr.events = append(pr.events, sym)
 		} else {
 			// The parent's dense automaton takes the child transition
 			// with two array loads — no name hashing on the hot path.

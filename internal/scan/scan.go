@@ -52,6 +52,10 @@ type Scanner struct {
 	rerr     error
 	maxToken int // buffer growth cap; 0 means DefaultMaxTokenSize
 
+	// ownBuf preserves the scanner-owned buffer across ResetBytes (which
+	// aliases buf to caller data) so Reset can restore it.
+	ownBuf []byte
+
 	// nameCache memoises full XML-name validation for the rare names
 	// that are not pure ASCII (checked by delegating to encoding/xml,
 	// keeping the two paths' notion of a valid name identical).
@@ -65,10 +69,29 @@ func NewScanner(r io.Reader) *Scanner {
 
 // Reset reuses the scanner (and its buffer) for a new input.
 func (s *Scanner) Reset(r io.Reader) {
+	if s.ownBuf != nil {
+		s.buf, s.ownBuf = s.ownBuf, nil
+	}
 	s.r = r
 	s.pos, s.end = 0, 0
 	s.mark = -1
 	s.rerr = nil
+}
+
+// ResetBytes reuses the scanner over an in-memory input without
+// copying: the buffer aliases data and the read error is preset to
+// io.EOF, so fill never compacts, grows, or reads — every mark-based
+// span is a direct view into data. The caller must not mutate data
+// while the scanner is in use; Reset restores the scanner-owned buffer.
+func (s *Scanner) ResetBytes(data []byte) {
+	if s.ownBuf == nil {
+		s.ownBuf = s.buf
+	}
+	s.r = nil
+	s.buf = data
+	s.pos, s.end = 0, len(data)
+	s.mark = -1
+	s.rerr = io.EOF
 }
 
 // SetMaxTokenSize bounds the buffer growth a single token may force;

@@ -112,6 +112,15 @@ func (pr *pruner) skipScan() error {
 		}
 	}
 	for depth > 0 {
+		if pr.sp != nil && pr.sp.at(s.pos) {
+			// A delegated range inside this skipped subtree. The range
+			// starts at an element tag, where this loop would flush.
+			flush()
+			if err := pr.applySkipSplice(); err != nil {
+				return err
+			}
+			continue
+		}
 		b, ok := s.getc()
 		if !ok {
 			return s.readErr()
