@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const bibDTD = `
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, author+, year?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+`
+
+const bibDoc = `<bib><book><title>Commedia</title><author>Dante</author><year>1313</year></book></bib>`
+
+// TestRunServesAndDrains boots the daemon on ephemeral ports, prunes a
+// document over HTTP, checks the admin listener, then cancels the run
+// context and expects a clean drained exit.
+func TestRunServesAndDrains(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := filepath.Join(dir, "bib.dtd")
+	if err := os.WriteFile(dtdPath, []byte(bibDTD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan [2]string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-listen", "127.0.0.1:0",
+			"-admin", "127.0.0.1:0",
+			"-schema", dtdPath, // bare path: name derives from the file base
+			"-projection", "titles=bib://book/title",
+			"-drain", "5s",
+		}, io.Discard, func(mainAddr, adminAddr net.Addr) {
+			ready <- [2]string{mainAddr.String(), adminAddr.String()}
+		})
+	}()
+
+	var addrs [2]string
+	select {
+	case addrs = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+	base := "http://" + addrs[0]
+
+	for _, url := range []string{
+		base + "/prune?schema=bib&q=%2F%2Fbook%2Ftitle",
+		base + "/prune?projection=titles",
+	} {
+		resp, err := http.Post(url, "application/xml", strings.NewReader(bibDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d (body %q)", url, resp.StatusCode, body)
+		}
+		want := `<bib><book><title>Commedia</title></book></bib>`
+		if string(body) != want {
+			t.Fatalf("%s: pruned %q, want %q", url, body, want)
+		}
+	}
+
+	// The admin listener serves /debug/vars and pprof.
+	for _, path := range []string{"/debug/vars", "/debug/pprof/cmdline"} {
+		resp, err := http.Get("http://" + addrs[1] + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("admin %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drained shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after cancel")
+	}
+}
+
+// TestRunRejectsBadFlags: startup errors (no schema, non-loopback
+// admin) fail fast instead of serving misconfigured.
+func TestRunRejectsBadFlags(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := filepath.Join(dir, "bib.dtd")
+	if err := os.WriteFile(dtdPath, []byte(bibDTD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	if err := run(ctx, []string{"-listen", "127.0.0.1:0"}, io.Discard, nil); err == nil {
+		t.Error("run with no -schema succeeded")
+	}
+	err := run(ctx, []string{
+		"-listen", "127.0.0.1:0",
+		"-admin", "0.0.0.0:0",
+		"-schema", dtdPath,
+	}, io.Discard, nil)
+	if err == nil || !strings.Contains(err.Error(), "loopback") {
+		t.Errorf("non-loopback admin: err %v, want loopback rejection", err)
+	}
+}
+
+func TestLoadSchemaSpec(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := filepath.Join(dir, "bib.dtd")
+	if err := os.WriteFile(dtdPath, []byte(bibDTD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	name, d, err := loadSchema("catalog="+dtdPath, "")
+	if err != nil || name != "catalog" || d == nil {
+		t.Errorf("name=path spec: (%q, %v, %v)", name, d, err)
+	}
+	name, d, err = loadSchema(dtdPath, "")
+	if err != nil || name != "bib" || d == nil {
+		t.Errorf("bare path spec: (%q, %v, %v), want name bib", name, d, err)
+	}
+	if _, _, err := loadSchema("=x.dtd", ""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, _, err := loadSchema(filepath.Join(dir, "missing.dtd"), ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseProjectionSpec(t *testing.T) {
+	name, schema, queries, err := parseProjectionSpec("p=bib://book/title; //book/author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "p" || schema != "bib" || len(queries) != 2 ||
+		queries[0] != "//book/title" || queries[1] != "//book/author" {
+		t.Errorf("parsed (%q, %q, %q)", name, schema, queries)
+	}
+	for _, bad := range []string{"", "p", "p=bib", "p=:q", "p=bib:", "p=bib: ; "} {
+		if _, _, _, err := parseProjectionSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestRequireLoopback(t *testing.T) {
+	for _, ok := range []string{"127.0.0.1:6060", "localhost:0", "[::1]:6060"} {
+		if err := requireLoopback(ok); err != nil {
+			t.Errorf("%s rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"0.0.0.0:6060", "192.168.1.5:6060", "example.com:80", "noport"} {
+		if err := requireLoopback(bad); err == nil {
+			t.Errorf("%s accepted", bad)
+		}
+	}
+}

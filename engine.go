@@ -287,3 +287,36 @@ func (eng *Engine) Metrics() EngineMetrics {
 		StitchTime:        m.StitchTime,
 	}
 }
+
+// MetricsMap returns the metrics snapshot flattened into
+// export-friendly key/value pairs (durations in nanoseconds) — the
+// hook expvar-style publishers serialise; xmlprojd's /debug/vars is
+// built on it.
+func (eng *Engine) MetricsMap() map[string]any {
+	return eng.e.Metrics().Map()
+}
+
+// RecordPrune credits one streaming prune that ran outside PruneBatch —
+// a server streaming a request through Projector.PruneStreamOpts — into
+// the engine's counters, with the batch pool's outcome classification:
+// nil errors count as DocsPruned, context cancellations (however
+// wrapped) count in neither bucket, everything else as PruneErrors.
+func (eng *Engine) RecordPrune(bytesIn int64, stats PruneStats, det ParallelStages, err error) {
+	eng.e.RecordPrune(bytesIn, stats.BytesOut, prune.ParallelDetail{
+		IndexTime:  det.IndexTime,
+		PruneTime:  det.PruneTime,
+		StitchTime: det.StitchTime,
+		Workers:    det.Workers,
+		Tasks:      det.Tasks,
+		Fallback:   det.Fallback,
+	}, err)
+}
+
+// IntraWorkerBudget divides the host's CPUs across width concurrent
+// prunes: the recommended per-document intra-parallelism budget for a
+// server admitting up to width requests at once, never below 1.
+// PruneBatch applies the same rule against its pool width when
+// BatchOptions.IntraWorkers is unset.
+func IntraWorkerBudget(procs, width int) int {
+	return engine.IntraBudget(procs, width)
+}

@@ -87,3 +87,29 @@ func (e *Engine) Metrics() Metrics {
 		StitchTime:        time.Duration(e.m.stitchNanos.Load()),
 	}
 }
+
+// Map flattens the snapshot into export-friendly key/value pairs —
+// the hook expvar-style publishers (the xmlprojd /debug/vars endpoint)
+// serialise. Durations are exported in nanoseconds.
+func (m Metrics) Map() map[string]any {
+	return map[string]any{
+		"cache_hits":              m.CacheHits,
+		"cache_misses":            m.CacheMisses,
+		"coalesced":               m.Coalesced,
+		"evictions":               m.Evictions,
+		"cache_entries":           m.CacheEntries,
+		"inferences":              m.Inferences,
+		"inference_nanos":         int64(m.InferenceTime),
+		"docs_pruned":             m.DocsPruned,
+		"prune_errors":            m.PruneErrors,
+		"bytes_in":                m.BytesIn,
+		"bytes_out":               m.BytesOut,
+		"projection_hits":         m.ProjectionHits,
+		"projection_misses":       m.ProjectionMisses,
+		"parallel_prunes":         m.ParallelPrunes,
+		"parallel_fallbacks":      m.ParallelFallbacks,
+		"parallel_index_nanos":    int64(m.IndexTime),
+		"parallel_fragment_nanos": int64(m.FragmentTime),
+		"parallel_stitch_nanos":   int64(m.StitchTime),
+	}
+}

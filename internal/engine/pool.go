@@ -2,8 +2,11 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -66,9 +69,10 @@ type BatchOptions struct {
 	// intra-document parallel pruner for large ones on multi-CPU hosts.
 	Engine prune.Engine
 	// IntraWorkers bounds the parallel pruner's workers within one
-	// document (0 means GOMAXPROCS). Batches mixing inter-document and
-	// intra-document parallelism will want Workers × IntraWorkers ≈
-	// GOMAXPROCS.
+	// document. Zero budgets automatically: each job gets
+	// IntraBudget(GOMAXPROCS, effective batch workers) workers, so
+	// Workers × IntraWorkers ≈ GOMAXPROCS and a batch of large
+	// documents never oversubscribes the CPUs.
 	IntraWorkers int
 	// IntraChunkSize overrides the parallel pruner's stage-1 chunk
 	// granularity in bytes (0 = auto).
@@ -102,6 +106,12 @@ func (e *Engine) PruneBatch(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, job
 	results := make([]JobResult, len(jobs))
 	if len(jobs) == 0 {
 		return results, BatchStats{}, nil
+	}
+	// Budget intra-document parallelism against the pool width: a batch
+	// of large documents would otherwise run Workers × GOMAXPROCS
+	// pruning goroutines.
+	if opts.IntraWorkers <= 0 {
+		opts.IntraWorkers = IntraBudget(runtime.GOMAXPROCS(0), workers)
 	}
 
 	// Compile π once for the whole batch (cached across batches too):
@@ -159,7 +169,7 @@ feed:
 		switch {
 		case r.Err == nil:
 			agg.Pruned++
-		case r.Err == context.Canceled || r.Err == context.DeadlineExceeded:
+		case isContextErr(r.Err):
 			agg.Skipped++
 		default:
 			agg.Failed++
@@ -195,36 +205,77 @@ func (e *Engine) runJob(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, proj *d
 		})
 		res.Elapsed = time.Since(start)
 		res.BytesIn = src.n
-		// A prune aborted by cancellation reports the context error, not
-		// the wrapped read error, so callers can tell "skipped" from
-		// "bad input".
-		if res.Err != nil && ctx.Err() != nil {
-			res.Err = ctx.Err()
+		// A prune aborted by cancellation already carries the context
+		// error (possibly wrapped by the pruner); errors.Is classifies it
+		// as skipped. A job that failed on its own input before the batch
+		// was cancelled keeps its root cause — overwriting it with
+		// ctx.Err() would lose the only record of why the batch died —
+		// with the cancellation noted alongside.
+		if res.Err != nil && ctx.Err() != nil && !isContextErr(res.Err) {
+			res.Err = fmt.Errorf("%w (batch cancelled: %v)", res.Err, ctx.Err())
 		}
 	}
 	if cerr := closeDst(job.Dst); cerr != nil && res.Err == nil {
 		res.Err = cerr
 	}
-	e.m.bytesIn.Add(res.BytesIn)
-	e.m.bytesOut.Add(res.Stats.BytesOut)
-	if res.Parallel.Workers > 0 {
+	e.RecordPrune(res.BytesIn, res.Stats.BytesOut, res.Parallel, res.Err)
+	return res
+}
+
+// RecordPrune credits one streaming prune into the engine's counters —
+// batch jobs go through it, and serving layers that stream through
+// Projector.PruneStream directly call it so /debug/vars style exports
+// see every document, not only batch ones. Outcome classification
+// matches the batch pool's: nil is a pruned document, a (possibly
+// wrapped) context error is a skip counted in neither bucket, anything
+// else is a prune error.
+func (e *Engine) RecordPrune(bytesIn, bytesOut int64, det prune.ParallelDetail, err error) {
+	e.m.bytesIn.Add(bytesIn)
+	e.m.bytesOut.Add(bytesOut)
+	if det.Workers > 0 {
 		e.m.parallelPrunes.Add(1)
-		if res.Parallel.Fallback {
+		if det.Fallback {
 			e.m.parallelFallbacks.Add(1)
 		}
-		e.m.indexNanos.Add(res.Parallel.IndexTime.Nanoseconds())
-		e.m.fragmentNanos.Add(res.Parallel.PruneTime.Nanoseconds())
-		e.m.stitchNanos.Add(res.Parallel.StitchTime.Nanoseconds())
+		e.m.indexNanos.Add(det.IndexTime.Nanoseconds())
+		e.m.fragmentNanos.Add(det.PruneTime.Nanoseconds())
+		e.m.stitchNanos.Add(det.StitchTime.Nanoseconds())
 	}
 	switch {
-	case res.Err == nil:
+	case err == nil:
 		e.m.docsPruned.Add(1)
-	case res.Err == context.Canceled || res.Err == context.DeadlineExceeded:
+	case isContextErr(err):
 		// Skipped, not failed; counted in neither bucket.
 	default:
 		e.m.pruneErrors.Add(1)
 	}
-	return res
+}
+
+// isContextErr reports whether err is a cancellation or deadline error,
+// however deeply wrapped — a context error surfaced through the
+// countingReader comes back as "prune: context canceled". An i/o
+// deadline on the source (a server arming connection deadlines) is the
+// same outcome by another mechanism: the prune was cut short, the
+// document wasn't at fault.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, os.ErrDeadlineExceeded)
+}
+
+// IntraBudget divides procs CPU slots across width concurrent prunes:
+// the per-document worker budget for intra-document parallelism, never
+// below 1. PruneBatch applies it against the pool width; a server
+// applies it against its admission-control limit so concurrent requests
+// and batch jobs share one sizing rule.
+func IntraBudget(procs, width int) int {
+	if width < 1 {
+		width = 1
+	}
+	if b := procs / width; b > 1 {
+		return b
+	}
+	return 1
 }
 
 // closeDst closes the job destination if it is a Closer, so write-behind

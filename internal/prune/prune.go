@@ -11,6 +11,7 @@ package prune
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -177,6 +178,15 @@ type StreamOptions struct {
 	// Detail, when non-nil, receives per-stage execution details of an
 	// EngineParallel prune.
 	Detail *ParallelDetail
+	// Ctx, when non-nil, aborts the prune when the context is cancelled:
+	// the source is checked before every read and Stream returns the
+	// context error (wrapped), recognisable with errors.Is. Long prunes
+	// driven by a server request can thus be cut off when the client
+	// goes away or a deadline passes.
+	Ctx context.Context
+	// Chosen, when non-nil, receives the engine Stream resolved for this
+	// input (never EngineAuto), so callers can log what actually ran.
+	Chosen *Engine
 }
 
 // Stream prunes the XML document read from src against π, writing the
@@ -201,6 +211,9 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 		bwPool.Put(bw)
 	}()
 
+	if opts.Ctx != nil {
+		src = &ctxReader{ctx: opts.Ctx, r: src}
+	}
 	eng := opts.Engine
 	// The input size must be probed before the sniff below wraps src in a
 	// MultiReader that hides the concrete reader type.
@@ -212,11 +225,17 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 		switch {
 		case looksNonUTF8(hdr[:n]):
 			eng = EngineDecoder
-		case sizeKnown && size >= parallelMinBytes && runtime.GOMAXPROCS(0) > 1:
+		case sizeKnown && size >= parallelMinBytes && runtime.GOMAXPROCS(0) > 1 && opts.ParallelWorkers != 1:
+			// A worker budget of exactly 1 (a batch or server already
+			// saturating the CPUs) makes buffering the whole input for
+			// the parallel pruner pure overhead; stay serial.
 			eng = EngineParallel
 		default:
 			eng = EngineScanner
 		}
+	}
+	if opts.Chosen != nil {
+		*opts.Chosen = eng
 	}
 	if eng == EngineParallel {
 		proj := opts.Projection
@@ -569,6 +588,25 @@ func hasAttr(attrs []xml.Attr, name string) bool {
 	}
 	return false
 }
+
+// ctxReader aborts reads once its context is cancelled, so a prune
+// whose client went away or whose deadline passed stops consuming the
+// source instead of streaming to completion.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
+
+// InputSize forwards the underlying reader's size so EngineAuto can
+// still see it through the wrapper.
+func (c *ctxReader) InputSize() (int64, bool) { return inputSize(c.r) }
 
 // Sizer lets a wrapping reader (a counting reader, an instrumented
 // stream) forward the size of its underlying input so EngineAuto can

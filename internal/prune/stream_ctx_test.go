@@ -1,0 +1,123 @@
+package prune
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+
+	"xmlproj/internal/dtd"
+)
+
+// TestStreamContextCancelled: a cancelled context aborts the prune
+// before the next read; the returned error unwraps to the context
+// error with errors.Is.
+func TestStreamContextCancelled(t *testing.T) {
+	d, _ := setup(t)
+	pi := dtd.NewNameSet("bib", "book", "title", dtd.TextName("title"))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	_, err := Stream(&out, strings.NewReader(bibDoc), d, pi, StreamOptions{Ctx: ctx})
+	if err == nil {
+		t.Fatal("prune under a cancelled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+}
+
+// cancelMidwayReader cancels its context after the first chunk, so the
+// prune aborts mid-document.
+type cancelMidwayReader struct {
+	data   []byte
+	served bool
+	cancel context.CancelFunc
+}
+
+func (r *cancelMidwayReader) Read(p []byte) (int, error) {
+	if r.served {
+		return 0, io.EOF
+	}
+	r.served = true
+	half := len(r.data) / 2
+	n := copy(p, r.data[:half])
+	r.cancel()
+	return n, nil
+}
+
+func TestStreamContextCancelledMidway(t *testing.T) {
+	d, _ := setup(t)
+	pi := dtd.NewNameSet("bib", "book", "title", dtd.TextName("title"))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	_, err := Stream(&out, &cancelMidwayReader{data: []byte(bibDoc), cancel: cancel}, d, pi, StreamOptions{Ctx: ctx})
+	if err == nil {
+		t.Fatal("prune cancelled midway succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+}
+
+// TestStreamChosenEngine: Stream reports which engine it resolved, and
+// auto-selection refuses the parallel pruner when the caller's worker
+// budget is exactly 1 — buffering the whole document to prune it with
+// one worker is pure overhead.
+func TestStreamChosenEngine(t *testing.T) {
+	d, _ := setup(t)
+	pi := dtd.NewNameSet("bib", "book", "title", dtd.TextName("title"))
+
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	// A document comfortably over the parallel threshold, of known size.
+	var sb strings.Builder
+	sb.WriteString("<bib>")
+	row := `<book isbn="1"><title>T</title><author>A</author></book>`
+	for sb.Len() < parallelMinBytes+1024 {
+		sb.WriteString(row)
+	}
+	sb.WriteString("</bib>")
+	big := sb.String()
+
+	cases := []struct {
+		name    string
+		workers int
+		want    Engine
+	}{
+		{"budget-free picks parallel", 0, EngineParallel},
+		{"budget of one stays serial", 1, EngineScanner},
+		{"budget of two picks parallel", 2, EngineParallel},
+	}
+	for _, c := range cases {
+		var chosen Engine
+		var out bytes.Buffer
+		_, err := Stream(&out, strings.NewReader(big), d, pi, StreamOptions{
+			ParallelWorkers: c.workers,
+			Chosen:          &chosen,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if chosen != c.want {
+			t.Errorf("%s: chosen engine %d, want %d", c.name, chosen, c.want)
+		}
+	}
+
+	// Small input: the scanner, and the out-param reports it.
+	var chosen Engine
+	var out bytes.Buffer
+	if _, err := Stream(&out, strings.NewReader(bibDoc), d, pi, StreamOptions{Chosen: &chosen}); err != nil {
+		t.Fatal(err)
+	}
+	if chosen != EngineScanner {
+		t.Errorf("small input chose engine %d, want scanner", chosen)
+	}
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the inclusive upper bounds of the request-latency
+// histogram buckets; requests slower than the last bound land in the
+// overflow bucket.
+var latencyBounds = [...]time.Duration{
+	1 * time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// histogram is a fixed-bucket latency histogram updated with atomics, so
+// the request path never serialises on a metrics lock.
+type histogram struct {
+	buckets [len(latencyBounds) + 1]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for i < len(latencyBounds) && d > latencyBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// snapshot renders the histogram Prometheus-style: cumulative counts per
+// "le" bound plus count and sum.
+func (h *histogram) snapshot() map[string]any {
+	m := make(map[string]any, len(latencyBounds)+3)
+	var cum int64
+	for i, b := range latencyBounds {
+		cum += h.buckets[i].Load()
+		m["le_"+b.String()] = cum
+	}
+	m["le_inf"] = cum + h.buckets[len(latencyBounds)].Load()
+	m["count"] = h.count.Load()
+	m["sum_nanos"] = h.sum.Load()
+	return m
+}
+
+// metrics are the server's own counters, alongside the engine's.
+type metrics struct {
+	// requests counts every /prune request received; the outcome
+	// counters below partition the finished ones.
+	requests      atomic.Int64
+	ok            atomic.Int64
+	badRequests   atomic.Int64 // malformed request: unknown schema, bad query, wrong method
+	rejectedBusy  atomic.Int64 // admission control said no (429)
+	rejectedLarge atomic.Int64 // body over the size limit (413)
+	timeouts      atomic.Int64 // request deadline passed mid-prune (408)
+	pruneFailures atomic.Int64 // the document itself failed to prune (422)
+	clientGone    atomic.Int64 // client disconnected mid-request
+	inFlight      atomic.Int64 // prunes currently holding an admission slot
+	bytesIn       atomic.Int64
+	bytesOut      atomic.Int64
+	latency       histogram
+}
+
+func (m *metrics) snapshot() map[string]any {
+	return map[string]any{
+		"requests":             m.requests.Load(),
+		"ok":                   m.ok.Load(),
+		"bad_requests":         m.badRequests.Load(),
+		"rejected_concurrency": m.rejectedBusy.Load(),
+		"rejected_too_large":   m.rejectedLarge.Load(),
+		"timeouts":             m.timeouts.Load(),
+		"prune_failures":       m.pruneFailures.Load(),
+		"client_gone":          m.clientGone.Load(),
+		"in_flight":            m.inFlight.Load(),
+		"bytes_in":             m.bytesIn.Load(),
+		"bytes_out":            m.bytesOut.Load(),
+		"latency":              m.latency.snapshot(),
+	}
+}
+
+// handleVars serves the /debug/vars document: the full engine.Metrics
+// snapshot plus the server counters, as one JSON object. It is
+// self-contained (not the global expvar registry) so several servers in
+// one process — or one test binary — never fight over published names.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	vars := map[string]any{
+		"engine": s.eng.MetricsMap(),
+		"server": s.m.snapshot(),
+		"limits": map[string]any{
+			"max_body_bytes": s.maxBody,
+			"max_token_size": s.opts.MaxTokenSize,
+			"max_concurrent": cap(s.sem),
+			"intra_workers":  s.intraWorkers,
+		},
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(vars)
+}

@@ -1,0 +1,509 @@
+// Package server implements xmlprojd's HTTP serving layer: streaming
+// type-based projection behind a long-lived service, the deployment the
+// paper's load-time pruning is designed for (§6 — prune while parsing,
+// in front of a main-memory query engine).
+//
+// A request POSTs a document to /prune naming a schema and a query
+// bunch (or a projection precompiled at startup); the body streams
+// through the one-pass pruner and the pruned document streams back.
+// The serial path never buffers the whole document; large bodies of
+// known size may use the intra-document parallel pruner, whose worker
+// budget is divided by the admission-control width so a saturated
+// server never oversubscribes its CPUs.
+//
+// Admission control, body-size and token-size limits, and per-request
+// deadlines make the service safe to expose to untrusted inputs;
+// /debug/vars and the admin pprof listener make it observable.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"xmlproj"
+)
+
+// DefaultMaxBodyBytes bounds request bodies when Options.MaxBodyBytes
+// is zero: 1 GiB, far above any sensible document but finite.
+const DefaultMaxBodyBytes = 1 << 30
+
+// Options configures a Server.
+type Options struct {
+	// Engine handles projector inference and caching; nil creates a
+	// default engine.
+	Engine *xmlproj.Engine
+	// MaxBodyBytes bounds the request body; a larger body fails the
+	// prune with 413. Zero means DefaultMaxBodyBytes, negative disables
+	// the limit.
+	MaxBodyBytes int64
+	// MaxTokenSize bounds the scanner's token buffer per request (zero
+	// means the scanner default, 8 MiB), so one hostile token cannot
+	// take the server's memory hostage.
+	MaxTokenSize int
+	// MaxConcurrent bounds prunes running at once; requests beyond it
+	// wait up to AdmissionWait for a slot and are then rejected with
+	// 429. Zero means GOMAXPROCS.
+	MaxConcurrent int
+	// AdmissionWait is how long a request queues for an admission slot
+	// before 429. Zero rejects immediately.
+	AdmissionWait time.Duration
+	// RequestTimeout bounds one prune from admission to the last byte;
+	// on expiry the prune aborts and the request fails with 408. Zero
+	// means no per-request deadline.
+	RequestTimeout time.Duration
+	// Logger receives one structured record per /prune request. Nil
+	// means slog.Default().
+	Logger *slog.Logger
+}
+
+// Server serves streaming projection over HTTP. Configure it with
+// AddSchema/AddProjection before serving; the handlers themselves are
+// safe for any number of concurrent requests.
+type Server struct {
+	opts         Options
+	eng          *xmlproj.Engine
+	schemas      map[string]*xmlproj.DTD
+	projections  map[string]*namedProjection
+	sem          chan struct{}
+	maxBody      int64
+	intraWorkers int
+	log          *slog.Logger
+	m            metrics
+}
+
+// namedProjection is a projector precompiled at startup, addressable by
+// name so hot workloads skip query compilation entirely.
+type namedProjection struct {
+	schema   string
+	queries  []string
+	validate bool
+	p        *xmlproj.Projector
+}
+
+// New returns a server with the given options and no schemas yet.
+func New(opts Options) *Server {
+	eng := opts.Engine
+	if eng == nil {
+		eng = xmlproj.NewEngine(xmlproj.EngineOptions{})
+	}
+	width := opts.MaxConcurrent
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	maxBody := opts.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Server{
+		opts:        opts,
+		eng:         eng,
+		schemas:     make(map[string]*xmlproj.DTD),
+		projections: make(map[string]*namedProjection),
+		sem:         make(chan struct{}, width),
+		maxBody:     maxBody,
+		// The same budget rule as engine.PruneBatch, fed by the
+		// admission width: MaxConcurrent requests at full load share
+		// the CPUs, so each prune gets GOMAXPROCS/MaxConcurrent
+		// intra-document workers (never below 1 — 1 keeps it serial).
+		intraWorkers: xmlproj.IntraWorkerBudget(runtime.GOMAXPROCS(0), width),
+		log:          logger,
+	}
+}
+
+// AddSchema registers a schema under name. Not safe to call once the
+// server is handling requests.
+func (s *Server) AddSchema(name string, d *xmlproj.DTD) error {
+	if name == "" {
+		return fmt.Errorf("server: schema name must not be empty")
+	}
+	if _, dup := s.schemas[name]; dup {
+		return fmt.Errorf("server: schema %q already registered", name)
+	}
+	s.schemas[name] = d
+	return nil
+}
+
+// AddProjection precompiles a named projection: the projector for the
+// query bunch against a registered schema, inferred once at startup.
+// Not safe to call once the server is handling requests.
+func (s *Server) AddProjection(name, schema string, validate bool, queries ...string) error {
+	if name == "" {
+		return fmt.Errorf("server: projection name must not be empty")
+	}
+	if _, dup := s.projections[name]; dup {
+		return fmt.Errorf("server: projection %q already registered", name)
+	}
+	d, ok := s.schemas[schema]
+	if !ok {
+		return fmt.Errorf("server: projection %q names unknown schema %q", name, schema)
+	}
+	p, err := s.infer(d, queries)
+	if err != nil {
+		return fmt.Errorf("server: projection %q: %w", name, err)
+	}
+	s.projections[name] = &namedProjection{schema: schema, queries: queries, validate: validate, p: p}
+	return nil
+}
+
+// infer compiles the query bunch and runs (cached) projector inference.
+func (s *Server) infer(d *xmlproj.DTD, queries []string) (*xmlproj.Projector, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("no queries")
+	}
+	compiled := make([]*xmlproj.Query, len(queries))
+	for i, src := range queries {
+		q, err := xmlproj.Compile(src)
+		if err != nil {
+			return nil, fmt.Errorf("query %q: %w", src, err)
+		}
+		compiled[i] = q
+	}
+	return s.eng.InferCached(d, xmlproj.Materialized, compiled...)
+}
+
+// Handler returns the public mux: POST /prune, GET /healthz, GET
+// /schemas and GET /debug/vars.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /prune", s.handlePrune)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /schemas", s.handleSchemas)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return mux
+}
+
+// AdminHandler returns the admin mux — pprof and /debug/vars — meant
+// for a localhost-only listener.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleSchemas lists the registered schemas and precompiled
+// projections.
+func (s *Server) handleSchemas(w http.ResponseWriter, r *http.Request) {
+	type schemaInfo struct {
+		Name string `json:"name"`
+		Root string `json:"root"`
+	}
+	type projInfo struct {
+		Name     string   `json:"name"`
+		Schema   string   `json:"schema"`
+		Queries  []string `json:"queries"`
+		Validate bool     `json:"validate"`
+		Names    int      `json:"projector_names"`
+	}
+	var out struct {
+		Schemas     []schemaInfo `json:"schemas"`
+		Projections []projInfo   `json:"projections"`
+	}
+	for name, d := range s.schemas {
+		out.Schemas = append(out.Schemas, schemaInfo{Name: name, Root: d.Root()})
+	}
+	sort.Slice(out.Schemas, func(i, j int) bool { return out.Schemas[i].Name < out.Schemas[j].Name })
+	for name, np := range s.projections {
+		out.Projections = append(out.Projections, projInfo{
+			Name: name, Schema: np.schema, Queries: np.queries,
+			Validate: np.validate, Names: len(np.p.Names()),
+		})
+	}
+	sort.Slice(out.Projections, func(i, j int) bool { return out.Projections[i].Name < out.Projections[j].Name })
+	writeJSON(w, out)
+}
+
+// errorTrailer carries a prune error that surfaced after response bytes
+// were already streamed, when the status line is long gone.
+const errorTrailer = "X-Xmlprojd-Error"
+
+// statusClientGone is nginx's non-standard "client closed request";
+// nothing can be delivered, the code only exists for logs and metrics.
+const statusClientGone = 499
+
+// isTimeout reports whether err is an i/o timeout from the armed
+// connection read deadline (as opposed to the request context's
+// deadline, which errors.Is catches directly).
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// handlePrune streams the request body through the pruner and the
+// pruned document back. The serial path holds O(depth) state, never the
+// document.
+func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.m.requests.Add(1)
+
+	np, errStatus, errMsg := s.resolve(r)
+	if np == nil {
+		s.m.badRequests.Add(1)
+		http.Error(w, errMsg, errStatus)
+		s.logRequest(r, errStatus, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, time.Since(start), errors.New(errMsg))
+		return
+	}
+
+	if s.maxBody > 0 && r.ContentLength > s.maxBody {
+		s.m.rejectedLarge.Add(1)
+		http.Error(w, fmt.Sprintf("request body %d bytes exceeds limit %d", r.ContentLength, s.maxBody), http.StatusRequestEntityTooLarge)
+		s.logRequest(r, http.StatusRequestEntityTooLarge, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, time.Since(start), errors.New("content-length over limit"))
+		return
+	}
+
+	if !s.admit(r.Context()) {
+		s.m.rejectedBusy.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at concurrency limit", http.StatusTooManyRequests)
+		s.logRequest(r, http.StatusTooManyRequests, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, time.Since(start), errors.New("admission rejected"))
+		return
+	}
+	defer func() { <-s.sem }()
+	s.m.inFlight.Add(1)
+	defer s.m.inFlight.Add(-1)
+
+	ctx := r.Context()
+	var rc *http.ResponseController
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+		// The context only gates the gaps between reads; a read already
+		// blocked on a stalled body can outlive it. Arm the connection
+		// deadlines too, so a blocked read (or a write to a client that
+		// stopped draining) fails with an i/o timeout.
+		rc = http.NewResponseController(w)
+		deadline := time.Now().Add(s.opts.RequestTimeout)
+		_ = rc.SetReadDeadline(deadline)
+		_ = rc.SetWriteDeadline(deadline)
+	}
+
+	var src io.Reader = r.Body
+	if s.maxBody > 0 {
+		src = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	body := &meteredBody{r: src, size: r.ContentLength}
+
+	// Headers must be final before the first body byte: declare the
+	// error trailer now, since a mid-stream failure can no longer change
+	// the status code.
+	w.Header().Set("Content-Type", "application/xml")
+	w.Header().Set("Trailer", errorTrailer)
+
+	cw := &countingResponseWriter{rw: w}
+	var det xmlproj.ParallelStages
+	chosen := xmlproj.PruneAuto
+	stats, err := np.p.PruneStreamOpts(cw, body, xmlproj.StreamOptions{
+		Validate:     np.validate,
+		MaxTokenSize: s.opts.MaxTokenSize,
+		IntraWorkers: s.intraWorkers,
+		Context:      ctx,
+		Detail:       &det,
+		Chosen:       &chosen,
+	})
+	elapsed := time.Since(start)
+
+	if rc != nil {
+		// Clear the prune deadlines so the error response (written after
+		// an expired deadline) still reaches the client.
+		_ = rc.SetReadDeadline(time.Time{})
+		_ = rc.SetWriteDeadline(time.Time{})
+	}
+
+	s.m.bytesIn.Add(body.n)
+	s.m.bytesOut.Add(stats.BytesOut)
+	s.m.latency.observe(elapsed)
+	s.eng.RecordPrune(body.n, stats, det, err)
+
+	status := http.StatusOK
+	if err != nil {
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.As(err, &mbe):
+			status = http.StatusRequestEntityTooLarge
+			s.m.rejectedLarge.Add(1)
+		case errors.Is(err, context.DeadlineExceeded), isTimeout(err):
+			status = http.StatusRequestTimeout
+			s.m.timeouts.Add(1)
+		case errors.Is(err, context.Canceled):
+			status = statusClientGone
+			s.m.clientGone.Add(1)
+		default:
+			status = http.StatusUnprocessableEntity
+			s.m.pruneFailures.Add(1)
+		}
+		if cw.wrote {
+			// Bytes are out; the only channel left is the trailer.
+			w.Header().Set(errorTrailer, err.Error())
+		} else {
+			w.Header().Del("Trailer")
+			http.Error(w, err.Error(), status)
+		}
+	} else {
+		s.m.ok.Add(1)
+	}
+	s.logRequest(r, status, body.n, stats.BytesOut, chosen, det, elapsed, err)
+}
+
+// resolve maps the request to a projector: either a precompiled named
+// projection or schema + query bunch (compiled here, inference cached
+// by the engine). A nil return carries the HTTP status and message.
+func (s *Server) resolve(r *http.Request) (*namedProjection, int, string) {
+	q := r.URL.Query()
+	validate := q.Get("validate") == "1" || q.Get("validate") == "true"
+	if name := q.Get("projection"); name != "" {
+		np, ok := s.projections[name]
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Sprintf("unknown projection %q", name)
+		}
+		if q.Has("validate") && validate != np.validate {
+			cp := *np
+			cp.validate = validate
+			return &cp, 0, ""
+		}
+		return np, 0, ""
+	}
+	schema := q.Get("schema")
+	if schema == "" {
+		return nil, http.StatusBadRequest, "missing schema or projection parameter"
+	}
+	d, ok := s.schemas[schema]
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Sprintf("unknown schema %q", schema)
+	}
+	queries := q["q"]
+	if len(queries) == 0 {
+		return nil, http.StatusBadRequest, "missing q parameter (at least one query)"
+	}
+	p, err := s.infer(d, queries)
+	if err != nil {
+		return nil, http.StatusBadRequest, err.Error()
+	}
+	return &namedProjection{schema: schema, queries: queries, validate: validate, p: p}, 0, ""
+}
+
+// admit takes an admission slot, waiting up to AdmissionWait. It
+// reports false when the server is at its concurrency limit (or the
+// client gave up while queued).
+func (s *Server) admit(ctx context.Context) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if s.opts.AdmissionWait <= 0 {
+		return false
+	}
+	t := time.NewTimer(s.opts.AdmissionWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// logRequest emits the per-request structured record.
+func (s *Server) logRequest(r *http.Request, status int, bytesIn, bytesOut int64, eng xmlproj.PruneEngine, det xmlproj.ParallelStages, elapsed time.Duration, err error) {
+	attrs := []any{
+		"method", r.Method,
+		"path", r.URL.Path,
+		"query", r.URL.RawQuery,
+		"remote", r.RemoteAddr,
+		"status", status,
+		"bytes_in", bytesIn,
+		"bytes_out", bytesOut,
+		"engine", eng.String(),
+		"elapsed", elapsed,
+	}
+	if det.Workers > 0 {
+		attrs = append(attrs,
+			"intra_workers", det.Workers,
+			"intra_tasks", det.Tasks,
+			"index_time", det.IndexTime,
+			"prune_time", det.PruneTime,
+			"stitch_time", det.StitchTime,
+			"intra_fallback", det.Fallback,
+		)
+	}
+	if err != nil {
+		attrs = append(attrs, "err", err.Error())
+		s.log.Warn("prune", attrs...)
+		return
+	}
+	s.log.Info("prune", attrs...)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// meteredBody counts bytes read and forwards the declared request size
+// so engine auto-selection can consider the parallel pruner for large
+// uploads of known length.
+type meteredBody struct {
+	r    io.Reader
+	n    int64
+	size int64 // Content-Length; <= 0 means unknown
+}
+
+func (b *meteredBody) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
+// InputSize implements prune.Sizer: the unread remainder of a body of
+// declared length.
+func (b *meteredBody) InputSize() (int64, bool) {
+	if b.size <= 0 {
+		return 0, false
+	}
+	return b.size - b.n, true
+}
+
+// countingResponseWriter counts body bytes and records whether the
+// response has started, which decides between a clean error status and
+// the trailer path.
+type countingResponseWriter struct {
+	rw    http.ResponseWriter
+	n     int64
+	wrote bool
+}
+
+func (w *countingResponseWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	n, err := w.rw.Write(p)
+	w.n += int64(n)
+	return n, err
+}

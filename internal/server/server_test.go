@@ -1,0 +1,520 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xmlproj"
+)
+
+const bibDTD = `
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, author+, year?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+`
+
+const bibDoc = `<bib><book><title>Commedia</title><author>Dante</author><year>1313</year></book><book><title>Decameron</title><author>Boccaccio</author></book></bib>`
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.Logger == nil {
+		opts.Logger = quietLogger()
+	}
+	s := New(opts)
+	d, err := xmlproj.ParseDTDString(bibDTD, "bib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSchema("bib", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProjection("titles", "bib", false, "//book/title"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postPrune(t *testing.T, ts *httptest.Server, url string, body io.Reader) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+url, "application/xml", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestPruneByteIdentical: the HTTP path returns exactly the bytes the
+// library's streaming pruner produces, for both ad-hoc query requests
+// and precompiled projections.
+func TestPruneByteIdentical(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	d, err := xmlproj.ParseDTDString(bibDTD, "bib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := xmlproj.Compile("//book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Infer(xmlproj.Materialized, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := p.PruneStreamOpts(&want, strings.NewReader(bibDoc), xmlproj.StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, url := range []string{
+		"/prune?schema=bib&q=" + "%2F%2Fbook%2Ftitle",
+		"/prune?projection=titles",
+	} {
+		resp, got := postPrune(t, ts, url, strings.NewReader(bibDoc))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", url, resp.StatusCode, got)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("%s: HTTP output differs from prune.Stream:\n http: %q\n want: %q", url, got, want.Bytes())
+		}
+		if tr := resp.Trailer.Get(errorTrailer); tr != "" {
+			t.Fatalf("%s: unexpected error trailer %q", url, tr)
+		}
+	}
+}
+
+// TestPruneRejections: the distinct failure statuses — unknown schema
+// or projection 404, missing/bad query 400, bad document 422, oversized
+// body 413, busy 429, timeout 408.
+func TestPruneRejections(t *testing.T) {
+	s := newTestServer(t, Options{MaxBodyBytes: 256})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, url, body string
+		want            int
+	}{
+		{"unknown schema", "/prune?schema=nope&q=//a", bibDoc, http.StatusNotFound},
+		{"unknown projection", "/prune?projection=nope", bibDoc, http.StatusNotFound},
+		{"missing query", "/prune?schema=bib", bibDoc, http.StatusBadRequest},
+		{"bad query", "/prune?schema=bib&q=" + "%2F%2F%5B", bibDoc, http.StatusBadRequest},
+		// A well-formed query matching nothing in the schema is not an
+		// error: inference yields the root-only projector and the prune
+		// returns the empty skeleton.
+		{"query outside schema", "/prune?schema=bib&q=%2F%2Fnope", bibDoc, http.StatusOK},
+		{"bad document", "/prune?projection=titles", "<bib><unknown/></bib>", http.StatusUnprocessableEntity},
+		{"oversized body", "/prune?projection=titles", "<bib>" + strings.Repeat("<book><title>x</title><author>a</author></book>", 20) + "</bib>", http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		resp, body := postPrune(t, ts, c.url, strings.NewReader(c.body))
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d (body %q)", c.name, resp.StatusCode, c.want, body)
+		}
+	}
+
+	// Wrong method → 405 from the mux's method pattern.
+	resp, err := http.Get(ts.URL + "/prune?projection=titles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /prune: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestPruneOversizedChunkedBody: a body with no declared length is cut
+// off by MaxBytesReader mid-stream and still reports 413.
+func TestPruneOversizedChunkedBody(t *testing.T) {
+	s := newTestServer(t, Options{MaxBodyBytes: 128})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write([]byte("<bib>"))
+		row := []byte("<book><title>t</title><author>a</author></book>")
+		for i := 0; i < 100; i++ {
+			if _, err := pw.Write(row); err != nil {
+				return // server stopped reading at the limit
+			}
+		}
+		pw.Close()
+	}()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/prune?projection=titles", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("chunked oversize: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestPruneRequestTimeout: a prune that cannot finish before the
+// per-request deadline aborts with 408 instead of hanging a slot.
+func TestPruneRequestTimeout(t *testing.T) {
+	s := newTestServer(t, Options{RequestTimeout: 50 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	go pw.Write([]byte("<bib><book><title>stall")) // never completes
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/prune?projection=titles", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("stalled prune: status %d, want 408", resp.StatusCode)
+	}
+}
+
+// inFlight polls /debug/vars until the server reports n prunes holding
+// admission slots.
+func waitInFlight(t *testing.T, ts *httptest.Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/debug/vars")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vars struct {
+			Server struct {
+				InFlight int64 `json:"in_flight"`
+			} `json:"server"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&vars)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vars.Server.InFlight == n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("server never reached %d in-flight prunes", n)
+}
+
+// TestPruneConcurrencyLimit: with one admission slot held, the next
+// request is rejected with 429; once the slot frees, requests flow
+// again.
+func TestPruneConcurrencyLimit(t *testing.T) {
+	s := newTestServer(t, Options{MaxConcurrent: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pr, pw := io.Pipe()
+	done := make(chan *http.Response, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/prune?projection=titles", pr)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- nil
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp
+	}()
+	pw.Write([]byte(bibDoc)) // full document, pipe left open: prune waits for EOF
+	waitInFlight(t, ts, 1)
+
+	resp, body := postPrune(t, ts, "/prune?projection=titles", strings.NewReader(bibDoc))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429 (body %q)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	pw.Close() // release the slot
+	if first := <-done; first == nil || first.StatusCode != http.StatusOK {
+		t.Fatalf("held request did not finish cleanly: %+v", first)
+	}
+
+	resp, _ = postPrune(t, ts, "/prune?projection=titles", strings.NewReader(bibDoc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after release: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestGracefulShutdownDrains: Shutdown waits for the in-flight prune,
+// which completes with a full, correct response.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	pr, pw := io.Pipe()
+	type result struct {
+		status int
+		body   []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodPost, base+"/prune?projection=titles", pr)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- result{}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		done <- result{resp.StatusCode, body}
+	}()
+	pw.Write([]byte(bibDoc[:20])) // request is mid-stream
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- httpSrv.Shutdown(ctx)
+	}()
+	// Let Shutdown begin refusing new work, then finish the request.
+	time.Sleep(20 * time.Millisecond)
+	pw.Write([]byte(bibDoc[20:]))
+	pw.Close()
+
+	res := <-done
+	if res.status != http.StatusOK {
+		t.Fatalf("drained request: status %d, body %q", res.status, res.body)
+	}
+	if !bytes.Contains(res.body, []byte("<title>Commedia</title>")) {
+		t.Fatalf("drained request returned wrong body: %q", res.body)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestConcurrentMixedRequests: valid prunes, bad documents, bad
+// queries and oversized bodies in parallel — exercised under -race in
+// CI; statuses must stay in the expected set and valid prunes must
+// return correct bytes.
+func TestConcurrentMixedRequests(t *testing.T) {
+	s := newTestServer(t, Options{MaxBodyBytes: 1 << 20, MaxConcurrent: 4, AdmissionWait: 2 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	want := "<bib><book><title>Commedia</title></book><book><title>Decameron</title></book></bib>"
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		for _, kind := range []int{0, 1, 2, 3} {
+			wg.Add(1)
+			go func(kind int) {
+				defer wg.Done()
+				var url, body string
+				var wantStatus int
+				switch kind {
+				case 0:
+					url, body, wantStatus = "/prune?projection=titles", bibDoc, http.StatusOK
+				case 1:
+					url, body, wantStatus = "/prune?projection=titles", "<bib><nope/></bib>", http.StatusUnprocessableEntity
+				case 2:
+					url, body, wantStatus = "/prune?schema=bib&q=%2F%2F%5B", bibDoc, http.StatusBadRequest
+				case 3:
+					url = "/prune?projection=titles"
+					body = "<bib>" + strings.Repeat("<book><title>t</title><author>a</author></book>", 40000) + "</bib>"
+					wantStatus = http.StatusRequestEntityTooLarge
+				}
+				resp, err := http.Post(ts.URL+url, "application/xml", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != wantStatus {
+					errs <- fmt.Errorf("kind %d: status %d, want %d", kind, resp.StatusCode, wantStatus)
+					return
+				}
+				if kind == 0 && string(data) != want {
+					errs <- fmt.Errorf("valid prune returned %q", data)
+				}
+			}(kind)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDebugVars: the expvar document carries the engine snapshot, the
+// server counters and the latency histogram, and they move with
+// traffic.
+func TestDebugVars(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, _ := postPrune(t, ts, "/prune?projection=titles", strings.NewReader(bibDoc))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("prune %d failed: %d", i, resp.StatusCode)
+		}
+	}
+	postPrune(t, ts, "/prune?schema=nope&q=//a", strings.NewReader(bibDoc))
+
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Engine map[string]any `json:"engine"`
+		Server struct {
+			Requests    int64          `json:"requests"`
+			OK          int64          `json:"ok"`
+			BadRequests int64          `json:"bad_requests"`
+			BytesIn     int64          `json:"bytes_in"`
+			BytesOut    int64          `json:"bytes_out"`
+			Latency     map[string]any `json:"latency"`
+		} `json:"server"`
+		Limits map[string]any `json:"limits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Server.Requests != 4 || vars.Server.OK != 3 || vars.Server.BadRequests != 1 {
+		t.Fatalf("server counters: %+v", vars.Server)
+	}
+	if vars.Server.BytesIn == 0 || vars.Server.BytesOut == 0 {
+		t.Fatalf("byte counters did not move: %+v", vars.Server)
+	}
+	if vars.Server.Latency["count"].(float64) != 3 {
+		t.Fatalf("latency histogram count: %v", vars.Server.Latency)
+	}
+	// The engine snapshot must expose every Metrics counter the Map hook
+	// flattens, inference included (the projection was precompiled).
+	// Served prunes are credited into the engine counters (RecordPrune),
+	// not just the server's own.
+	if got := vars.Engine["docs_pruned"].(float64); got != 3 {
+		t.Fatalf("engine docs_pruned = %v, want 3", got)
+	}
+	for _, key := range []string{"inferences", "docs_pruned", "bytes_in", "bytes_out", "cache_hits", "projection_hits", "parallel_prunes"} {
+		if _, ok := vars.Engine[key]; !ok {
+			t.Errorf("engine snapshot missing %q: %v", key, vars.Engine)
+		}
+	}
+	if vars.Engine["inferences"].(float64) < 1 {
+		t.Errorf("engine snapshot shows no inference: %v", vars.Engine)
+	}
+	if vars.Limits["max_concurrent"].(float64) <= 0 {
+		t.Errorf("limits missing max_concurrent: %v", vars.Limits)
+	}
+}
+
+// TestAdminHandler: pprof index and vars respond on the admin mux.
+func TestAdminHandler(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.AdminHandler())
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestSchemasEndpoint: the catalogue lists schemas and projections.
+func TestSchemasEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/schemas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Schemas []struct {
+			Name, Root string
+		} `json:"schemas"`
+		Projections []struct {
+			Name, Schema string
+		} `json:"projections"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Schemas) != 1 || out.Schemas[0].Name != "bib" || out.Schemas[0].Root != "bib" {
+		t.Fatalf("schemas: %+v", out.Schemas)
+	}
+	if len(out.Projections) != 1 || out.Projections[0].Name != "titles" {
+		t.Fatalf("projections: %+v", out.Projections)
+	}
+}
+
+// TestValidateParam: validation fused into the HTTP prune rejects a
+// DTD-invalid document that parses fine without validation.
+func TestValidateParam(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// book without the required author: well-formed, DTD-invalid.
+	invalid := `<bib><book><title>T</title></book></bib>`
+	resp, _ := postPrune(t, ts, "/prune?projection=titles", strings.NewReader(invalid))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unvalidated prune of invalid doc: status %d", resp.StatusCode)
+	}
+	resp, body := postPrune(t, ts, "/prune?projection=titles&validate=1", strings.NewReader(invalid))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("validated prune of invalid doc: status %d (body %q)", resp.StatusCode, body)
+	}
+}

@@ -20,6 +20,7 @@
 package xmlproj
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -465,6 +466,95 @@ func (p *Projector) PruneStreamValidating(dst io.Writer, src io.Reader) (PruneSt
 
 func (p *Projector) pruneStream(dst io.Writer, src io.Reader, validate bool) (PruneStats, error) {
 	st, err := prune.Stream(dst, src, p.d, p.pr.Names, prune.StreamOptions{Validate: validate})
+	return pruneStatsOf(st), err
+}
+
+// PruneEngine names the tokenizer behind a streaming prune. The zero
+// value auto-selects: the byte-level scanner for UTF-8 input, the
+// two-stage parallel pruner for large inputs of known size on
+// multi-CPU hosts, encoding/xml otherwise.
+type PruneEngine int
+
+const (
+	PruneAuto     PruneEngine = PruneEngine(prune.EngineAuto)
+	PruneScanner  PruneEngine = PruneEngine(prune.EngineScanner)
+	PruneDecoder  PruneEngine = PruneEngine(prune.EngineDecoder)
+	PruneParallel PruneEngine = PruneEngine(prune.EngineParallel)
+)
+
+// String returns the engine's name as logged by servers and tools.
+func (e PruneEngine) String() string {
+	switch e {
+	case PruneScanner:
+		return "scanner"
+	case PruneDecoder:
+		return "decoder"
+	case PruneParallel:
+		return "parallel"
+	default:
+		return "auto"
+	}
+}
+
+// StreamOptions configures PruneStreamOpts. The zero value matches
+// PruneStream: no validation, auto-selected engine, default limits.
+type StreamOptions struct {
+	// Validate fuses DTD validation with the prune.
+	Validate bool
+	// Engine forces a tokenizer; zero auto-selects.
+	Engine PruneEngine
+	// MaxTokenSize bounds the scanner's token buffer; a single token
+	// larger than this fails the prune instead of growing memory without
+	// bound. Zero means the scanner default (8 MiB).
+	MaxTokenSize int
+	// IntraWorkers bounds intra-document parallel pruning (0 means
+	// GOMAXPROCS; 1 keeps the prune serial).
+	IntraWorkers int
+	// Context, when non-nil, aborts the prune when cancelled: the source
+	// is checked before every read and the prune returns the context
+	// error (wrapped), recognisable with errors.Is.
+	Context context.Context
+	// Detail, when non-nil, receives the per-stage timings of a parallel
+	// prune (Workers == 0 means the prune ran serially).
+	Detail *ParallelStages
+	// Chosen, when non-nil, receives the engine that actually ran.
+	Chosen *PruneEngine
+}
+
+// PruneStreamOpts is PruneStream with per-call options: validation,
+// engine selection, token-size limits, worker budgets and context
+// cancellation — what a long-lived server needs to run untrusted
+// streams through the pruner safely.
+func (p *Projector) PruneStreamOpts(dst io.Writer, src io.Reader, opts StreamOptions) (PruneStats, error) {
+	popts := prune.StreamOptions{
+		Validate:        opts.Validate,
+		Engine:          prune.Engine(opts.Engine),
+		MaxTokenSize:    opts.MaxTokenSize,
+		ParallelWorkers: opts.IntraWorkers,
+		Ctx:             opts.Context,
+	}
+	var det prune.ParallelDetail
+	if opts.Detail != nil {
+		popts.Detail = &det
+	}
+	var chosen prune.Engine
+	if opts.Chosen != nil {
+		popts.Chosen = &chosen
+	}
+	st, err := prune.Stream(dst, src, p.d, p.pr.Names, popts)
+	if opts.Detail != nil {
+		*opts.Detail = ParallelStages{
+			IndexTime:  det.IndexTime,
+			PruneTime:  det.PruneTime,
+			StitchTime: det.StitchTime,
+			Workers:    det.Workers,
+			Tasks:      det.Tasks,
+			Fallback:   det.Fallback,
+		}
+	}
+	if opts.Chosen != nil {
+		*opts.Chosen = PruneEngine(chosen)
+	}
 	return pruneStatsOf(st), err
 }
 
