@@ -129,9 +129,9 @@ func runStreamPrune(factor float64, seed int64, out string, opts bench.StreamPru
 		return err
 	}
 	fmt.Fprintf(stdout, "stream prune benchmark (XMark factor %g, %d bytes)\n", rep.Factor, rep.DocBytes)
-	fmt.Fprintf(stdout, "%-10s %-8s %-9s %12s %10s %12s\n", "projector", "engine", "validate", "ns/op", "MB/s", "allocs/op")
+	fmt.Fprintf(stdout, "%-10s %-16s %-9s %12s %10s %12s %14s\n", "projector", "engine", "validate", "ns/op", "MB/s", "allocs/op", "copied B/op")
 	for _, c := range rep.Cases {
-		fmt.Fprintf(stdout, "%-10s %-8s %-9v %12d %10.2f %12d\n", c.Projector, c.Engine, c.Validate, c.NsPerOp, c.MBPerSec, c.AllocsPerOp)
+		fmt.Fprintf(stdout, "%-10s %-16s %-9v %12d %10.2f %12d %14d\n", c.Projector, c.Engine, c.Validate, c.NsPerOp, c.MBPerSec, c.AllocsPerOp, c.CopiedBytesPerOp)
 	}
 	fmt.Fprintf(stdout, "low-selectivity: scanner is %.2fx faster, %.0fx fewer allocations\n",
 		rep.SpeedupLow, rep.AllocRatioLow)
@@ -139,6 +139,8 @@ func runStreamPrune(factor float64, seed int64, out string, opts bench.StreamPru
 		rep.SpeedupLowValidated, rep.ValidateOverheadLow, rep.ValidateOverheadMid)
 	fmt.Fprintf(stdout, "parallel: %.2fx vs serial scanner on full, %.2fx on low (GOMAXPROCS=%d, NumCPU=%d)\n",
 		rep.SpeedupParallel, rep.SpeedupParallelLow, rep.GOMAXPROCS, rep.NumCPU)
+	fmt.Fprintf(stdout, "gather: %.1fx fewer allocated bytes than the copying scanner on low; %.1f%% of output bytes copied\n",
+		rep.GatherAllocRatioLow, 100*rep.GatherCopiedFracLow)
 	if rep.NumCPU == 1 {
 		fmt.Fprintln(stdout, "parallel: single-CPU host; speedup not meaningful (output parity still asserted)")
 	}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"xmlproj"
+	"xmlproj/internal/mmapio"
 )
 
 type stringList []string
@@ -146,33 +147,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	// batch size.
 	var batch []xmlproj.BatchJob
 	var sinks []*fileSink
+	var srcs []*fileSource
 	var stdoutBuf *bufio.Writer
 
-	addFileJob := func(inPath, outPath string) {
-		var dst io.Writer
+	// newDst resolves a job's destination: the shared buffered stdout
+	// when no path is given, a lazily-created file sink otherwise.
+	newDst := func(outPath, name string) io.Writer {
 		if outPath == "" {
-			stdoutBuf = bufio.NewWriterSize(stdout, 1<<20)
-			dst = stdoutBuf
-		} else {
-			sink := &fileSink{path: outPath, name: inPath}
-			sinks = append(sinks, sink)
-			dst = sink
+			if stdoutBuf == nil {
+				stdoutBuf = bufio.NewWriterSize(stdout, 1<<20)
+			}
+			return stdoutBuf
 		}
-		batch = append(batch, xmlproj.BatchJob{Name: inPath, Src: &lazyFile{path: inPath}, Dst: dst})
+		sink := &fileSink{path: outPath, name: name}
+		sinks = append(sinks, sink)
+		return sink
+	}
+
+	addFileJob := func(inPath, outPath string) {
+		src := &fileSource{lazyFile: lazyFile{path: inPath}}
+		srcs = append(srcs, src)
+		batch = append(batch, xmlproj.BatchJob{Name: inPath, Src: src, Dst: newDst(outPath, inPath)})
 	}
 
 	switch {
 	case len(inputs) == 0:
-		var dst io.Writer
-		if *out == "" {
-			stdoutBuf = bufio.NewWriterSize(stdout, 1<<20)
-			dst = stdoutBuf
-		} else {
-			sink := &fileSink{path: *out, name: "stdin"}
-			sinks = append(sinks, sink)
-			dst = sink
-		}
-		batch = append(batch, xmlproj.BatchJob{Name: "stdin", Src: bufio.NewReaderSize(stdin, 1<<20), Dst: dst})
+		batch = append(batch, xmlproj.BatchJob{Name: "stdin", Src: bufio.NewReaderSize(stdin, 1<<20), Dst: newDst(*out, "stdin")})
 	case len(inputs) == 1 && !isDir(*out):
 		addFileJob(inputs[0], *out)
 	default:
@@ -204,6 +204,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		IntraChunkSize: *chunk,
 	})
 	elapsed := time.Since(start)
+	// Release the input mappings now that every prune has run; output
+	// writers hold copies (or already wrote through), never spans.
+	for _, src := range srcs {
+		src.close()
+	}
 	// The engine closed the file sinks (reporting close errors per job);
 	// remove the output of every job that did not fully succeed, so a
 	// failed prune never leaves a partial document behind.
@@ -321,6 +326,48 @@ func (l *lazyFile) Read(p []byte) (int, error) {
 		l.done = true
 	}
 	return n, err
+}
+
+// fileSource is a batch input backed by a regular file. The prune asks
+// it for in-memory bytes (prune.BytesSource) and gets the whole file
+// mapped — whole-file prunes then run zero read-copy end to end, the
+// scanner tokenizing the page cache in place — with the embedded
+// lazyFile's streaming reads as the fallback for irregular files,
+// pipes, and failed maps.
+type fileSource struct {
+	lazyFile
+	data *mmapio.Data
+}
+
+// InputSize implements prune.Sizer via stat, without opening the file.
+func (s *fileSource) InputSize() (int64, bool) {
+	fi, err := os.Stat(s.path)
+	if err != nil || !fi.Mode().IsRegular() {
+		return 0, false
+	}
+	return fi.Size(), true
+}
+
+// InputBytes implements prune.BytesSource: called at most once, at the
+// prune's point of commitment, it maps (or for short files reads) the
+// whole input. Returning nil declines and the prune falls back to
+// streaming reads.
+func (s *fileSource) InputBytes() []byte {
+	d, err := mmapio.Open(s.path)
+	if err != nil {
+		return nil
+	}
+	s.data = d
+	return d.Bytes()
+}
+
+// close releases the mapping after the batch; the prune is done with
+// the bytes by then.
+func (s *fileSource) close() {
+	if s.data != nil {
+		s.data.Close()
+		s.data = nil
+	}
 }
 
 // fileSink creates its file on first write, reports the Close error (a

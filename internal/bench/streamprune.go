@@ -18,8 +18,10 @@ type StreamPruneCase struct {
 	// subtrees skip-scanned), "mid" a moderate one, "full" everything
 	// (the raw-copy fast path, exercised with and without validation).
 	Projector string `json:"projector"`
-	// Engine is "scanner" (internal/scan), "decoder" (encoding/xml) or
-	// "parallel" (the two-stage intra-document parallel pruner).
+	// Engine is "scanner" (internal/scan), "decoder" (encoding/xml),
+	// "parallel" (the two-stage intra-document parallel pruner), or the
+	// span-gather variants "gather" / "gather-parallel" (output recorded
+	// as spans over the input instead of copied).
 	Engine string `json:"engine"`
 	// Validate reports whether validation was fused into the prune.
 	Validate bool `json:"validate"`
@@ -29,6 +31,11 @@ type StreamPruneCase struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"alloc_bytes_per_op"`
 	BytesOut    int64   `json:"bytes_out"`
+	// CopiedBytesPerOp counts output bytes that crossed a user-space
+	// copy on the way out: everything for the copying engines, only the
+	// synthesized remainder (BytesOut minus span-referenced raw bytes)
+	// for the gather engines.
+	CopiedBytesPerOp int64 `json:"copied_bytes_per_op"`
 }
 
 // StreamPruneOptions tunes the parallel-pruner cases of RunStreamPrune.
@@ -67,9 +74,16 @@ type StreamPruneReport struct {
 	// pruning is compute-bound); SpeedupParallelLow the same on the
 	// low-selectivity projector. Meaningless (≈1 or below) when
 	// NumCPU == 1.
-	SpeedupParallel    float64           `json:"speedup_parallel"`
-	SpeedupParallelLow float64           `json:"speedup_parallel_low"`
-	Cases              []StreamPruneCase `json:"cases"`
+	SpeedupParallel    float64 `json:"speedup_parallel"`
+	SpeedupParallelLow float64 `json:"speedup_parallel_low"`
+	// GatherAllocRatioLow divides the copying scanner's allocated bytes
+	// per op by the span-gather path's on the low projector — the
+	// zero-copy output representation's allocation win.
+	GatherAllocRatioLow float64 `json:"gather_alloc_ratio_low"`
+	// GatherCopiedFracLow is copied_bytes/bytes_out for the gather
+	// engine on the low projector; 0 means fully zero-copy output.
+	GatherCopiedFracLow float64           `json:"gather_copied_frac_low"`
+	Cases               []StreamPruneCase `json:"cases"`
 }
 
 // StreamPruneProjectors returns the benchmark π shapes over the XMark
@@ -105,57 +119,107 @@ func RunStreamPrune(factor float64, seed int64, opts StreamPruneOptions) (*Strea
 		Factor: factor, Seed: seed, DocBytes: int64(len(w.DocBytes)),
 		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 	}
-	mkOpts := func(eng prune.Engine, v bool) prune.StreamOptions {
+	// Projections are precompiled once per projector shape and shared by
+	// every case: real deployments infer/compile once and prune many
+	// documents, and a per-op CompileProjection would otherwise dominate
+	// the allocation numbers the gather engines exist to shrink.
+	projectors := StreamPruneProjectors(w.D)
+	compiled := make(map[string]*dtd.Projection, len(projectors))
+	for _, p := range projectors {
+		compiled[p.Name] = w.D.CompileProjection(p.Pi)
+	}
+	mkOpts := func(name string, eng prune.Engine, v bool) prune.StreamOptions {
 		return prune.StreamOptions{
 			Engine:            eng,
 			Validate:          v,
+			Projection:        compiled[name],
 			ParallelWorkers:   opts.IntraWorkers,
 			ParallelChunkSize: opts.ChunkSize,
 		}
 	}
-	for _, p := range StreamPruneProjectors(w.D) {
+	// Parity gate: every engine — parallel, gather, gather-parallel —
+	// must reproduce the serial scanner's bytes before anything is timed.
+	for _, p := range projectors {
 		var serialOut, parallelOut bytes.Buffer
-		if _, err := prune.Stream(&serialOut, bytes.NewReader(w.DocBytes), w.D, p.Pi, mkOpts(prune.EngineScanner, false)); err != nil {
+		if _, err := prune.Stream(&serialOut, bytes.NewReader(w.DocBytes), w.D, p.Pi, mkOpts(p.Name, prune.EngineScanner, false)); err != nil {
 			return nil, fmt.Errorf("serial prune (%s): %w", p.Name, err)
 		}
-		if _, err := prune.Stream(&parallelOut, bytes.NewReader(w.DocBytes), w.D, p.Pi, mkOpts(prune.EngineParallel, false)); err != nil {
+		if _, err := prune.Stream(&parallelOut, bytes.NewReader(w.DocBytes), w.D, p.Pi, mkOpts(p.Name, prune.EngineParallel, false)); err != nil {
 			return nil, fmt.Errorf("parallel prune (%s): %w", p.Name, err)
 		}
 		if !bytes.Equal(serialOut.Bytes(), parallelOut.Bytes()) {
 			return nil, fmt.Errorf("parallel pruner output differs from serial scanner on projector %s", p.Name)
 		}
+		for _, eng := range []prune.Engine{prune.EngineScanner, prune.EngineParallel} {
+			g, _, err := prune.StreamGather(w.DocBytes, w.D, p.Pi, mkOpts(p.Name, eng, false))
+			if err != nil {
+				return nil, fmt.Errorf("gather prune (%s, engine %d): %w", p.Name, eng, err)
+			}
+			same := bytes.Equal(serialOut.Bytes(), g.Bytes())
+			g.Close()
+			if !same {
+				return nil, fmt.Errorf("gather output differs from serial scanner on projector %s (engine %d)", p.Name, eng)
+			}
+		}
 	}
 	engines := []struct {
-		Name string
-		Eng  prune.Engine
-	}{{"scanner", prune.EngineScanner}, {"decoder", prune.EngineDecoder}, {"parallel", prune.EngineParallel}}
+		Name   string
+		Eng    prune.Engine
+		Gather bool
+	}{
+		{"scanner", prune.EngineScanner, false},
+		{"decoder", prune.EngineDecoder, false},
+		{"parallel", prune.EngineParallel, false},
+		{"gather", prune.EngineScanner, true},
+		{"gather-parallel", prune.EngineParallel, true},
+	}
 
-	for _, p := range StreamPruneProjectors(w.D) {
+	rd := bytes.NewReader(w.DocBytes)
+	for _, p := range projectors {
 		for _, e := range engines {
 			for _, validate := range []bool{false, true} {
-				pi, eng, v := p.Pi, e.Eng, validate
+				name, pi, eng, v := p.Name, p.Pi, e.Eng, validate
 				var stats prune.Stats
+				var rawBytes int64
 				var serr error
-				r := testing.Benchmark(func(b *testing.B) {
-					b.ReportAllocs()
-					for i := 0; i < b.N; i++ {
-						stats, serr = prune.Stream(io.Discard, bytes.NewReader(w.DocBytes), w.D, pi, mkOpts(eng, v))
-						if serr != nil {
-							b.Fatal(serr)
+				var r testing.BenchmarkResult
+				if e.Gather {
+					r = testing.Benchmark(func(b *testing.B) {
+						b.ReportAllocs()
+						for i := 0; i < b.N; i++ {
+							g, st, err := prune.StreamGather(w.DocBytes, w.D, pi, mkOpts(name, eng, v))
+							if err != nil {
+								serr = err
+								b.Fatal(err)
+							}
+							stats, rawBytes = st, g.RawBytes()
+							g.Close()
 						}
-					}
-				})
+					})
+				} else {
+					r = testing.Benchmark(func(b *testing.B) {
+						b.ReportAllocs()
+						for i := 0; i < b.N; i++ {
+							rd.Reset(w.DocBytes)
+							stats, serr = prune.Stream(io.Discard, rd, w.D, pi, mkOpts(name, eng, v))
+							if serr != nil {
+								b.Fatal(serr)
+							}
+						}
+					})
+				}
 				if serr != nil {
 					return nil, serr
 				}
 				c := StreamPruneCase{
-					Projector:   p.Name,
-					Engine:      e.Name,
-					Validate:    v,
-					NsPerOp:     r.NsPerOp(),
-					AllocsPerOp: r.AllocsPerOp(),
-					BytesPerOp:  r.AllocedBytesPerOp(),
-					BytesOut:    stats.BytesOut,
+					Projector:        p.Name,
+					Engine:           e.Name,
+					Validate:         v,
+					NsPerOp:          r.NsPerOp(),
+					AllocsPerOp:      r.AllocsPerOp(),
+					BytesPerOp:       r.AllocedBytesPerOp(),
+					BytesOut:         stats.BytesOut,
+					CopiedBytesPerOp: stats.BytesOut - rawBytes,
 				}
 				if r.T > 0 {
 					c.MBPerSec = float64(int64(r.N)*rep.DocBytes) / r.T.Seconds() / 1e6
@@ -190,5 +254,20 @@ func RunStreamPrune(factor float64, seed int64, opts StreamPruneOptions) (*Strea
 	rep.ValidateOverheadMid = ratio(find("mid", "scanner", false), find("mid", "scanner", true))
 	rep.SpeedupParallel = ratio(find("full", "parallel", false), find("full", "scanner", false))
 	rep.SpeedupParallelLow = ratio(find("low", "parallel", false), lowScanner)
+	if lowGather := find("low", "gather", false); lowGather != nil {
+		if lowScanner != nil {
+			// Steady state the gather path allocates nothing at all;
+			// clamp the denominator so a perfect 0 B/op reports a finite
+			// (conservative) ratio instead of dividing by zero.
+			den := lowGather.BytesPerOp
+			if den < 1 {
+				den = 1
+			}
+			rep.GatherAllocRatioLow = float64(lowScanner.BytesPerOp) / float64(den)
+		}
+		if lowGather.BytesOut > 0 {
+			rep.GatherCopiedFracLow = float64(lowGather.CopiedBytesPerOp) / float64(lowGather.BytesOut)
+		}
+	}
 	return rep, nil
 }

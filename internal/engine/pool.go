@@ -303,6 +303,20 @@ func (c *countingReader) InputSize() (int64, bool) {
 	return prune.InputSize(c.r)
 }
 
+// InputBytes forwards an in-memory source (prune.BytesSource) through
+// the counting wrapper. The contract is one call at the point of
+// commitment, so the whole input is credited as consumed here — the
+// prune takes it from memory instead of through Read.
+func (c *countingReader) InputBytes() []byte {
+	bs, ok := c.r.(prune.BytesSource)
+	if !ok || c.ctx.Err() != nil {
+		return nil
+	}
+	b := bs.InputBytes()
+	c.n += int64(len(b))
+	return b
+}
+
 func (c *countingReader) Read(p []byte) (int, error) {
 	if err := c.ctx.Err(); err != nil {
 		return 0, err

@@ -1,0 +1,22 @@
+//go:build linux
+
+package mmapio
+
+import "syscall"
+
+// maxMapSize caps mappings at what an int can index.
+const maxMapSize = int64(int(^uint(0) >> 1))
+
+func mmap(f interface{ Fd() uintptr }, size int) ([]byte, error) {
+	if size == 0 {
+		return []byte{}, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+func munmap(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package mmapio
+
+import "errors"
+
+// maxMapSize never admits a mapping here; Open reads instead.
+const maxMapSize = int64(-1)
+
+func mmap(f interface{ Fd() uintptr }, size int) ([]byte, error) {
+	return nil, errors.New("mmapio: not supported on this platform")
+}
+
+func munmap(b []byte) error { return nil }

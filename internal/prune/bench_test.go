@@ -26,21 +26,47 @@ func benchProjectors(d *dtd.DTD) map[string]dtd.NameSet {
 	return map[string]dtd.NameSet{"low": low, "mid": mid, "full": full}
 }
 
-func benchStream(b *testing.B, eng Engine, pi dtd.NameSet, validate bool) {
+func benchDoc(b *testing.B) (*dtd.DTD, []byte) {
+	b.Helper()
 	d := xmark.DTD()
 	doc := xmark.NewGenerator(0.01, 42).Document()
 	var buf bytes.Buffer
 	if err := doc.WriteXML(&buf); err != nil {
 		b.Fatal(err)
 	}
-	src := buf.Bytes()
+	return d, buf.Bytes()
+}
+
+func benchStream(b *testing.B, eng Engine, pi dtd.NameSet, validate bool) {
+	d, src := benchDoc(b)
+	opts := StreamOptions{Engine: eng, Validate: validate, Projection: d.CompileProjection(pi)}
+	rd := bytes.NewReader(src)
 	b.SetBytes(int64(len(src)))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Stream(io.Discard, bytes.NewReader(src), d, pi, StreamOptions{Engine: eng, Validate: validate}); err != nil {
+		rd.Reset(src)
+		if _, err := Stream(io.Discard, rd, d, pi, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchGather measures the span-gather path: same prune, but output
+// recorded as spans over the input instead of copied to a writer.
+// Steady state it allocates nothing (pooled gather, reused span list).
+func benchGather(b *testing.B, eng Engine, pi dtd.NameSet, validate bool) {
+	d, src := benchDoc(b)
+	opts := StreamOptions{Engine: eng, Validate: validate, Projection: d.CompileProjection(pi)}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, _, err := StreamGather(src, d, pi, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Close()
 	}
 }
 
@@ -67,5 +93,8 @@ func BenchmarkStreamPrune(b *testing.B) {
 		b.Run("parallel/"+name, func(b *testing.B) { benchStream(b, EngineParallel, pi, false) })
 		b.Run("parallel-validate/"+name, func(b *testing.B) { benchStream(b, EngineParallel, pi, true) })
 		b.Run("auto/"+name, func(b *testing.B) { benchStream(b, EngineAuto, pi, false) })
+		b.Run("gather/"+name, func(b *testing.B) { benchGather(b, EngineScanner, pi, false) })
+		b.Run("gather-validate/"+name, func(b *testing.B) { benchGather(b, EngineScanner, pi, true) })
+		b.Run("gather-parallel/"+name, func(b *testing.B) { benchGather(b, EngineParallel, pi, false) })
 	}
 }

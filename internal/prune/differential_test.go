@@ -45,6 +45,36 @@ var parallelVariants = []StreamOptions{
 	{Engine: EngineParallel, ParallelWorkers: 3, ParallelFragTarget: 64},
 }
 
+// checkGather runs the span-gather path under opts and requires the
+// same verdict as the streaming scanner, byte-identical rendered
+// output (both materialised and flushed through WriteTo) and equal
+// stats. This is the differential oracle for the gather emitter.
+func checkGather(t *testing.T, label, src string, d *dtd.DTD, pi dtd.NameSet, opts StreamOptions, accepted bool, wantOut string, wantStats Stats) {
+	t.Helper()
+	g, gst, gerr := StreamGather([]byte(src), d, pi, opts)
+	if accepted != (gerr == nil) {
+		t.Fatalf("%s: gather disagrees on acceptance: %v\ninput: %q", label, gerr, src)
+	}
+	if gerr != nil {
+		return
+	}
+	defer g.Close()
+	if got := string(g.Bytes()); got != wantOut {
+		t.Fatalf("%s: gather output differs\ngather:  %q\nscanner: %q\ninput: %q", label, got, wantOut, src)
+	}
+	var wb bytes.Buffer
+	n, err := g.WriteTo(&wb)
+	if err != nil || n != int64(len(wantOut)) || wb.String() != wantOut {
+		t.Fatalf("%s: gather WriteTo mismatch (n=%d, err=%v)\n got: %q\nwant: %q", label, n, err, wb.String(), wantOut)
+	}
+	if gst != wantStats {
+		t.Fatalf("%s: gather stats differ\ngather:  %+v\nscanner: %+v\ninput: %q", label, gst, wantStats, src)
+	}
+	if g.RawBytes() > g.Len() {
+		t.Fatalf("%s: RawBytes %d exceeds Len %d", label, g.RawBytes(), g.Len())
+	}
+}
+
 func runBoth(t *testing.T, src string, d *dtd.DTD, pi dtd.NameSet, validate bool) {
 	t.Helper()
 	var sb, db strings.Builder
@@ -54,6 +84,8 @@ func runBoth(t *testing.T, src string, d *dtd.DTD, pi dtd.NameSet, validate bool
 		t.Fatalf("engines disagree on acceptance (validate=%v)\nscanner: %v\ndecoder: %v\ninput: %q",
 			validate, serr, derr, src)
 	}
+	checkGather(t, "serial", src, d, pi,
+		StreamOptions{Validate: validate, Engine: EngineScanner}, serr == nil, sb.String(), sst)
 	for _, popts := range parallelVariants {
 		popts.Validate = validate
 		var pb strings.Builder
@@ -62,6 +94,7 @@ func runBoth(t *testing.T, src string, d *dtd.DTD, pi dtd.NameSet, validate bool
 			t.Fatalf("parallel engine disagrees on acceptance (validate=%v, workers=%d)\nscanner:  %v\nparallel: %v\ninput: %q",
 				validate, popts.ParallelWorkers, serr, perr, src)
 		}
+		checkGather(t, "parallel", src, d, pi, popts, serr == nil, sb.String(), sst)
 		if serr != nil {
 			continue
 		}
@@ -106,6 +139,11 @@ func init() {
 		// window ahead of the pending decoded text (reordering bug).
 		`<bib><book isbn="1"><title>a&lt;b<!--x-->mid<!--y-->c&gt;d</title><author>A</author></book></bib>`,
 		`<bib><book isbn="1"><title>plain<!--x-->a&lt;b<!--y-->tail</title><author>A</author></book></bib>`,
+		// Escape-heavy mixes: alternating raw and synthesized output makes
+		// the gather emitter interleave input spans with escape-buffer
+		// spans at every boundary.
+		`<bib><book isbn="&#49;"><title>&lt;a&gt;&amp;b</title><author>A&#x41;B</author><year>&#50;</year></book></bib>`,
+		`<bib><book isbn="1"><title>r</title><author>a&amp;<![CDATA[&]]>&lt;</author></book><book isbn="2"><title>raw2</title><author>plain</author></book></bib>`,
 	}
 }
 
@@ -447,6 +485,10 @@ func FuzzStreamDifferential(f *testing.F) {
 	f.Add(`<bib><book isbn="1"><title><![CDATA[a]]b]]></title><author>A</author></book></bib>`, uint16(13))
 	f.Add(`<bib><!-- straddle --><book isbn="1"><title>t</title><author>&#x41;</author></book></bib>`, uint16(10))
 	f.Add(`<bib><book isbn='s'><title>a</title><author>b</author></book><book isbn="t"><title>c</title><author>d</author></book></bib>`, uint16(17))
+	// Escape-heavy seeds for the span-gather emitter: output alternates
+	// between raw input spans and synthesized escape-buffer bytes.
+	f.Add(`<bib><book isbn="&#49;"><title>&lt;t&gt;</title><author>A&amp;B</author></book></bib>`, uint16(5))
+	f.Add(`<bib><book isbn="1"><title>raw</title><author><![CDATA[&]]>&#x42;</author></book></bib>`, uint16(12))
 	f.Fuzz(func(t *testing.T, src string, chunk uint16) {
 		// End tags are matched by resolved namespace in encoding/xml but
 		// by literal prefix in the scanner; inputs that bind prefixes are
@@ -467,6 +509,10 @@ func FuzzStreamDifferential(f *testing.F) {
 			}); perr == nil {
 				t.Fatalf("parallel engine accepted input the scanner rejects (chunk=%d): %q", chunk, src)
 			}
+			if g, _, gerr := StreamGather([]byte(src), d, pi, StreamOptions{Engine: EngineScanner}); gerr == nil {
+				g.Close()
+				t.Fatalf("gather path accepted input the scanner rejects: %q", src)
+			}
 			return
 		}
 		if sb.String() != db.String() {
@@ -478,7 +524,7 @@ func FuzzStreamDifferential(f *testing.F) {
 		// Validation must also agree — raw-copy windows stay on under
 		// validation, so this exercises the fused fast path too.
 		var sv, dv strings.Builder
-		_, sverr := Stream(&sv, strings.NewReader(src), d, pi, StreamOptions{Validate: true, Engine: EngineScanner})
+		svst, sverr := Stream(&sv, strings.NewReader(src), d, pi, StreamOptions{Validate: true, Engine: EngineScanner})
 		_, dverr := Stream(&dv, strings.NewReader(src), d, pi, StreamOptions{Validate: true, Engine: EngineDecoder})
 		if (sverr == nil) != (dverr == nil) {
 			t.Fatalf("engines disagree on acceptance under validation\nscanner: %v\ndecoder: %v", sverr, dverr)
@@ -488,24 +534,29 @@ func FuzzStreamDifferential(f *testing.F) {
 		}
 		// The parallel engine, under the fuzzed stage-1 chunk size and a
 		// fragment target that forces splices, must match the scanner's
-		// verdict, bytes and stats — validated and not.
+		// verdict, bytes and stats — validated and not. The span-gather
+		// emitter must match on the same grid, serial and parallel.
 		for _, validate := range []bool{false, true} {
 			wantErr, wantOut, wantStats := serr, sb.String(), sst
 			if validate {
-				wantErr, wantOut = sverr, sv.String()
+				wantErr, wantOut, wantStats = sverr, sv.String(), svst
 			}
-			var pb strings.Builder
-			pst, perr := Stream(&pb, strings.NewReader(src), d, pi, StreamOptions{
+			popts := StreamOptions{
 				Validate:           validate,
 				Engine:             EngineParallel,
 				ParallelWorkers:    4,
 				ParallelChunkSize:  int(chunk),
 				ParallelFragTarget: 1,
-			})
+			}
+			var pb strings.Builder
+			pst, perr := Stream(&pb, strings.NewReader(src), d, pi, popts)
 			if (wantErr == nil) != (perr == nil) {
 				t.Fatalf("parallel engine disagrees on acceptance (validate=%v, chunk=%d)\nscanner:  %v\nparallel: %v",
 					validate, chunk, wantErr, perr)
 			}
+			checkGather(t, "serial", src, d, pi,
+				StreamOptions{Validate: validate, Engine: EngineScanner}, wantErr == nil, wantOut, wantStats)
+			checkGather(t, "parallel", src, d, pi, popts, wantErr == nil, wantOut, wantStats)
 			if wantErr != nil {
 				continue
 			}

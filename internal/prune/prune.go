@@ -202,7 +202,233 @@ type StreamOptions struct {
 // validation, which rides along on the dense content-model DFAs. Output
 // is byte-identical to the encoding/xml path, which is kept as the
 // fallback for non-UTF-8 input and as the testing oracle.
+//
+// A src implementing BytesSource (an mmap'd file, a buffered request
+// body) is never read: the prune switches to the in-memory fast paths
+// (StreamBytes) and scans the caller's bytes in place.
 func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts StreamOptions) (Stats, error) {
+	if opts.Ctx != nil {
+		src = &ctxReader{ctx: opts.Ctx, r: src}
+	}
+	if data, ok := inputBytesOf(src); ok {
+		return StreamBytes(dst, data, d, pi, opts)
+	}
+	return streamReader(dst, src, d, pi, opts)
+}
+
+// StreamBytes is Stream over input that is already fully in memory:
+// the scanner aliases data instead of reading and buffering it, so the
+// input side copies nothing, and EngineParallel skips the buffering
+// pass entirely. Output and stats are byte-identical to Stream's; one
+// documented exception: MaxTokenSize is not enforced on the in-memory
+// scanner paths (the cap bounds the streaming scanner's buffer growth,
+// which in-memory input does not have) — bound such inputs by size.
+func StreamBytes(dst io.Writer, data []byte, d *dtd.DTD, pi dtd.NameSet, opts StreamOptions) (Stats, error) {
+	var stats Stats
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return stats, fmt.Errorf("prune: %w", err)
+		}
+	}
+	eng := resolveBytesEngine(data, opts)
+	if eng == EngineDecoder {
+		// The reference path tokenizes through a reader; in-memory input
+		// is simply a reader that never refills.
+		ropts := opts
+		ropts.Engine = EngineDecoder
+		var src io.Reader = bytes.NewReader(data)
+		if opts.Ctx != nil {
+			src = &ctxReader{ctx: opts.Ctx, r: src}
+		}
+		return streamReader(dst, src, d, pi, ropts)
+	}
+	if opts.Chosen != nil {
+		*opts.Chosen = eng
+	}
+	bw := bwPool.Get().(*bufio.Writer)
+	bw.Reset(countingWriter{w: dst, n: &stats.BytesOut})
+	defer func() {
+		bw.Reset(io.Discard) // drop the caller's writer before pooling
+		bwPool.Put(bw)
+	}()
+	proj := opts.Projection
+	if proj == nil {
+		proj = d.CompileProjection(pi)
+	}
+	var sst scan.Stats
+	var err error
+	if eng == EngineParallel {
+		var det scan.ParallelDetail
+		sst, det, err = scan.PruneParallel(bw, data, d, proj, parallelOptsOf(opts))
+		setDetail(opts, det)
+	} else {
+		sst, err = scan.PruneBytes(bw, data, d, proj, scanOptsOf(opts))
+	}
+	stats.fold(sst)
+	if err != nil {
+		return stats, fmt.Errorf("prune: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return stats, fmt.Errorf("prune: %w", err)
+	}
+	return stats, nil
+}
+
+// Gather is the span-gather result of StreamGather: the pruned output
+// described as an ordered list of spans over the caller's input plus a
+// small escape buffer of synthesized bytes. Flushing (io.WriterTo)
+// hands the spans to the kernel as one writev on TCP connections —
+// raw-copied subtrees go out straight from the input buffer. The input
+// slice must stay alive and unmodified until Close, which recycles the
+// gather's state; a Gather must not be used after Close.
+type Gather struct {
+	sl     *scan.SpanList
+	closed bool
+}
+
+var gatherPool = sync.Pool{New: func() any { return &Gather{sl: new(scan.SpanList)} }}
+
+// WriteTo flushes the rendered output with vectored I/O.
+func (g *Gather) WriteTo(w io.Writer) (int64, error) { return g.sl.WriteTo(w) }
+
+// Bytes materialises the rendered output in a fresh slice.
+func (g *Gather) Bytes() []byte { return g.sl.Bytes() }
+
+// AppendTo appends the rendered output to dst.
+func (g *Gather) AppendTo(dst []byte) []byte { return g.sl.AppendTo(dst) }
+
+// Len is the rendered output size in bytes.
+func (g *Gather) Len() int64 { return g.sl.Len() }
+
+// RawBytes counts the output bytes referenced in place from the input
+// — bytes the prune never copied. Len()-RawBytes() is the synthesized
+// remainder (re-rendered tags, escaped text).
+func (g *Gather) RawBytes() int64 { return g.sl.RawBytes() }
+
+// Segments is the number of gather segments (writev iovecs).
+func (g *Gather) Segments() int { return g.sl.Segments() }
+
+// Close drops the gather's input reference and recycles its state.
+// Safe to call more than once.
+func (g *Gather) Close() error {
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	g.sl.Clear()
+	gatherPool.Put(g)
+	return nil
+}
+
+// StreamGather prunes in-memory input into a span-gather result
+// instead of a destination writer: output bytes that survive the
+// projection are referenced in place, so nothing is copied until the
+// result is flushed — and flushing to a TCP connection is vectored
+// writes straight out of data. The rendered output is byte-identical
+// to Stream's, and stats match it (BytesOut is the rendered size).
+//
+// Engine selection follows StreamBytes; non-UTF-8 input runs the
+// decoder reference path, materialised into the escape buffer as one
+// segment. MaxTokenSize is not enforced on the in-memory scanner paths
+// (see StreamBytes). On error no Gather is returned (partial output is
+// discarded, unlike the streaming paths which have already written
+// it). The caller must Close the returned Gather.
+func StreamGather(data []byte, d *dtd.DTD, pi dtd.NameSet, opts StreamOptions) (*Gather, Stats, error) {
+	var stats Stats
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, stats, fmt.Errorf("prune: %w", err)
+		}
+	}
+	g := gatherPool.Get().(*Gather)
+	g.closed = false
+	eng := resolveBytesEngine(data, opts)
+	if eng == EngineDecoder {
+		g.sl.Reset(data)
+		ropts := opts
+		ropts.Engine = EngineDecoder
+		st, err := streamReader(g.sl, bytes.NewReader(data), d, pi, ropts)
+		if err != nil {
+			g.Close()
+			return nil, st, err
+		}
+		return g, st, nil
+	}
+	if opts.Chosen != nil {
+		*opts.Chosen = eng
+	}
+	proj := opts.Projection
+	if proj == nil {
+		proj = d.CompileProjection(pi)
+	}
+	var sst scan.Stats
+	var err error
+	if eng == EngineParallel {
+		var det scan.ParallelDetail
+		sst, det, err = scan.PruneParallelGather(g.sl, data, d, proj, parallelOptsOf(opts))
+		setDetail(opts, det)
+	} else {
+		sst, err = scan.PruneGather(g.sl, data, d, proj, scanOptsOf(opts))
+	}
+	stats.fold(sst)
+	stats.BytesOut = g.sl.Len()
+	if err != nil {
+		g.Close()
+		return nil, stats, fmt.Errorf("prune: %w", err)
+	}
+	return g, stats, nil
+}
+
+// resolveBytesEngine picks the engine for in-memory input: non-UTF-8
+// heads sniff to the decoder; inputs worth splitting go parallel.
+func resolveBytesEngine(data []byte, opts StreamOptions) Engine {
+	eng := opts.Engine
+	if eng != EngineAuto {
+		return eng
+	}
+	switch {
+	case looksNonUTF8(data):
+		return EngineDecoder
+	case len(data) >= parallelMinBytes && runtime.GOMAXPROCS(0) > 1 && opts.ParallelWorkers != 1:
+		return EngineParallel
+	default:
+		return EngineScanner
+	}
+}
+
+func scanOptsOf(opts StreamOptions) scan.Options {
+	return scan.Options{
+		Validate:     opts.Validate,
+		RawCopy:      true,
+		MaxTokenSize: opts.MaxTokenSize,
+	}
+}
+
+func parallelOptsOf(opts StreamOptions) scan.ParallelOptions {
+	return scan.ParallelOptions{
+		Options:    scanOptsOf(opts),
+		Workers:    opts.ParallelWorkers,
+		ChunkSize:  opts.ParallelChunkSize,
+		FragTarget: opts.ParallelFragTarget,
+	}
+}
+
+func setDetail(opts StreamOptions, det scan.ParallelDetail) {
+	if opts.Detail != nil {
+		*opts.Detail = ParallelDetail{
+			IndexTime:  time.Duration(det.IndexNanos),
+			PruneTime:  time.Duration(det.PruneNanos),
+			StitchTime: time.Duration(det.StitchNanos),
+			Workers:    det.Workers,
+			Tasks:      det.Tasks,
+			Fallback:   det.Fallback,
+		}
+	}
+}
+
+// streamReader is the reader-based body of Stream; src is already
+// context-wrapped by the caller when a context is set.
+func streamReader(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts StreamOptions) (Stats, error) {
 	var stats Stats
 	bw := bwPool.Get().(*bufio.Writer)
 	bw.Reset(countingWriter{w: dst, n: &stats.BytesOut})
@@ -211,9 +437,6 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 		bwPool.Put(bw)
 	}()
 
-	if opts.Ctx != nil {
-		src = &ctxReader{ctx: opts.Ctx, r: src}
-	}
 	eng := opts.Engine
 	// The input size must be probed before the sniff below wraps src in a
 	// MultiReader that hides the concrete reader type.
@@ -251,29 +474,11 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 			inputPool.Put(buf)
 			return stats, fmt.Errorf("prune: %w", rerr)
 		}
-		sst, det, err := scan.PruneParallel(bw, buf.Bytes(), d, proj, scan.ParallelOptions{
-			Options: scan.Options{
-				Validate:     opts.Validate,
-				RawCopy:      true,
-				MaxTokenSize: opts.MaxTokenSize,
-			},
-			Workers:    opts.ParallelWorkers,
-			ChunkSize:  opts.ParallelChunkSize,
-			FragTarget: opts.ParallelFragTarget,
-		})
+		sst, det, err := scan.PruneParallel(bw, buf.Bytes(), d, proj, parallelOptsOf(opts))
 		if buf.Cap() <= maxPooledInput {
 			inputPool.Put(buf)
 		}
-		if opts.Detail != nil {
-			*opts.Detail = ParallelDetail{
-				IndexTime:  time.Duration(det.IndexNanos),
-				PruneTime:  time.Duration(det.PruneNanos),
-				StitchTime: time.Duration(det.StitchNanos),
-				Workers:    det.Workers,
-				Tasks:      det.Tasks,
-				Fallback:   det.Fallback,
-			}
-		}
+		setDetail(opts, det)
 		stats.fold(sst)
 		if err != nil {
 			return stats, fmt.Errorf("prune: %w", err)
@@ -288,11 +493,7 @@ func Stream(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts Strea
 		if proj == nil {
 			proj = d.CompileProjection(pi)
 		}
-		sst, err := scan.Prune(bw, src, d, proj, scan.Options{
-			Validate:     opts.Validate,
-			RawCopy:      true,
-			MaxTokenSize: opts.MaxTokenSize,
-		})
+		sst, err := scan.Prune(bw, src, d, proj, scanOptsOf(opts))
 		stats.fold(sst)
 		if err != nil {
 			return stats, fmt.Errorf("prune: %w", err)
@@ -607,6 +808,42 @@ func (c *ctxReader) Read(p []byte) (int, error) {
 // InputSize forwards the underlying reader's size so EngineAuto can
 // still see it through the wrapper.
 func (c *ctxReader) InputSize() (int64, bool) { return inputSize(c.r) }
+
+// InputBytes forwards an in-memory source through the wrapper. A
+// cancelled context declines the fast path so the error surfaces
+// through the ordinary read.
+func (c *ctxReader) InputBytes() []byte {
+	if c.ctx.Err() != nil {
+		return nil
+	}
+	if bs, ok := c.r.(BytesSource); ok {
+		return bs.InputBytes()
+	}
+	return nil
+}
+
+// BytesSource is implemented by readers whose entire content is
+// already in memory — an mmap'd file, a buffered request body. Stream
+// consults it before reading anything: a non-nil slice switches the
+// prune to the zero-copy in-memory paths (StreamBytes) and the reader
+// is never read from. InputBytes is called at most once per prune, at
+// the point of commitment, so implementations may do real work (map
+// the file) and should account the full length as consumed; returning
+// nil declines, and the prune falls back to ordinary reads. Wrapping
+// readers (counting readers, instrumented streams) should forward it,
+// as they do Sizer.
+type BytesSource interface {
+	InputBytes() []byte
+}
+
+func inputBytesOf(src io.Reader) ([]byte, bool) {
+	if bs, ok := src.(BytesSource); ok {
+		if b := bs.InputBytes(); b != nil {
+			return b, true
+		}
+	}
+	return nil, false
+}
 
 // Sizer lets a wrapping reader (a counting reader, an instrumented
 // stream) forward the size of its underlying input so EngineAuto can

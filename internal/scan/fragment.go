@@ -13,7 +13,6 @@ package scan
 // that follows the range.
 
 import (
-	"bytes"
 	"fmt"
 )
 
@@ -31,11 +30,14 @@ type fragTask struct {
 	res fragResult
 }
 
-// fragResult is what a worker produced for one range.
+// fragResult is what a worker produced for one range. Output is a
+// span-gather list over the whole document (workers scan with absolute
+// offsets via ResetBytesAt), so the spine folds it in by concatenation
+// — or, on the streaming path, with a single copy out of the input.
 type fragResult struct {
 	st     Stats
 	events []int32
-	out    *bytes.Buffer
+	sl     *SpanList
 	err    error
 }
 
@@ -84,9 +86,9 @@ func (pr *pruner) applySplice() error {
 			}
 		}
 	}
-	if res.out != nil && res.out.Len() > 0 {
+	if res.sl != nil && res.sl.Len() > 0 {
 		pr.closeOpen()
-		pr.bw.Write(res.out.Bytes())
+		pr.em.splice(res.sl)
 	}
 	pr.foldStats(&res.st)
 	if res.err != nil {

@@ -62,6 +62,48 @@ type ParallelDetail struct {
 // cannot describe fall back to the serial pruner, which reproduces the
 // exact serial verdict.
 func PruneParallel(bw *bufio.Writer, data []byte, d *dtd.DTD, proj *dtd.Projection, opts ParallelOptions) (Stats, ParallelDetail, error) {
+	return pruneParallel(data, d, proj, opts, parallelOut{bw: bw})
+}
+
+// PruneParallelGather is PruneParallel with span-gather output: the
+// spine records into sl and fragment gather lists fold in by list
+// concatenation, so the stitch copies nothing but synthesized escape
+// bytes. Rendered output is byte-identical to PruneParallel's. Serial
+// fallbacks run PruneGather, so (like every in-memory gather path)
+// MaxTokenSize is enforced only by the stage-1 index pre-scan, not on
+// fallback.
+func PruneParallelGather(sl *SpanList, data []byte, d *dtd.DTD, proj *dtd.Projection, opts ParallelOptions) (Stats, ParallelDetail, error) {
+	return pruneParallel(data, d, proj, opts, parallelOut{sl: sl})
+}
+
+// parallelOut selects the spine's output target: exactly one of bw/sl
+// is set.
+type parallelOut struct {
+	bw *bufio.Writer
+	sl *SpanList
+}
+
+func (o parallelOut) install(pr *pruner, data []byte) {
+	if o.sl != nil {
+		o.sl.Reset(data)
+		pr.useGather(o.sl)
+	} else {
+		pr.useStream(o.bw)
+	}
+}
+
+// serial runs the serial pruner into the same target. The streaming
+// fallback re-reads data through the scanner so the exact serial
+// verdict — including MaxTokenSize enforcement — is reproduced; the
+// gather fallback is PruneGather, which scans in place.
+func (o parallelOut) serial(data []byte, d *dtd.DTD, proj *dtd.Projection, opts Options) (Stats, error) {
+	if o.sl != nil {
+		return PruneGather(o.sl, data, d, proj, opts)
+	}
+	return Prune(o.bw, bytes.NewReader(data), d, proj, opts)
+}
+
+func pruneParallel(data []byte, d *dtd.DTD, proj *dtd.Projection, opts ParallelOptions, out parallelOut) (Stats, ParallelDetail, error) {
 	var det ParallelDetail
 	workers := opts.Workers
 	if workers <= 0 {
@@ -74,7 +116,7 @@ func PruneParallel(bw *bufio.Writer, data []byte, d *dtd.DTD, proj *dtd.Projecti
 	}
 	serial := func() (Stats, ParallelDetail, error) {
 		det.Fallback = true
-		st, err := Prune(bw, bytes.NewReader(data), d, proj, opts.Options)
+		st, err := out.serial(data, d, proj, opts.Options)
 		return st, det, err
 	}
 	if maxTok < 2*windowFlushSize {
@@ -121,8 +163,9 @@ func PruneParallel(bw *bufio.Writer, data []byte, d *dtd.DTD, proj *dtd.Projecti
 		spineOpts.RawCopy = false
 	}
 	pr := prunerPool.Get().(*pruner)
-	pr.reset(bw, nil, d, proj, spineOpts)
 	pr.s.ResetBytes(data)
+	pr.prep(d, proj, spineOpts)
+	out.install(pr, data)
 	if len(tasks) > 0 {
 		pr.sp = &spliceSet{tasks: tasks}
 	}
@@ -133,18 +176,13 @@ func PruneParallel(bw *bufio.Writer, data []byte, d *dtd.DTD, proj *dtd.Projecti
 	det.StitchNanos = time.Since(t2).Nanoseconds()
 
 	for _, t := range tasks {
-		if t.res.out != nil {
-			fragBufPool.Put(t.res.out)
-			t.res.out = nil
+		if t.res.sl != nil {
+			putSpanList(t.res.sl)
+			t.res.sl = nil
 		}
 	}
 	return st, det, err
 }
-
-var fragBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
-var fragBwPool = sync.Pool{New: func() any {
-	return bufio.NewWriterSize(nil, 32<<10)
-}}
 
 // runTasks prunes the delegated ranges on a worker pool.
 func runTasks(data []byte, d *dtd.DTD, proj *dtd.Projection, opts Options, tasks []*fragTask, workers int) {
@@ -169,29 +207,26 @@ func runTasks(data []byte, d *dtd.DTD, proj *dtd.Projection, opts Options, tasks
 	wg.Wait()
 }
 
+// runTask prunes one range. Kept ranges record their output into a
+// pooled span-gather list with absolute offsets (ResetBytesAt), so the
+// spine's splice is list concatenation instead of a buffer copy; skip
+// ranges never emit and run against the discard emitter — there is no
+// writer here at all, so nothing can flush into a nil destination.
 func runTask(data []byte, d *dtd.DTD, proj *dtd.Projection, opts Options, t *fragTask) {
 	pr := prunerPool.Get().(*pruner)
+	pr.s.ResetBytesAt(data, t.lo, t.hi)
+	pr.prep(d, proj, opts)
 	if t.skip {
-		bw := fragBwPool.Get().(*bufio.Writer)
-		pr.reset(bw, nil, d, proj, opts) // skip fragments never write
-		pr.s.ResetBytes(data[t.lo:t.hi])
+		pr.useDiscard()
 		t.res.err = pr.runSkipFragment()
 		t.res.st = pr.st
-		fragBwPool.Put(bw)
 	} else {
-		buf := fragBufPool.Get().(*bytes.Buffer)
-		buf.Reset()
-		bw := fragBwPool.Get().(*bufio.Writer)
-		bw.Reset(buf)
-		pr.reset(bw, nil, d, proj, opts)
-		pr.s.ResetBytes(data[t.lo:t.hi])
+		sl := getSpanList(data)
+		pr.useGather(sl)
 		t.res.err = pr.runFragment(t.ctxSym, t.ctxBase)
-		bw.Flush()
-		bw.Reset(nil)
-		fragBwPool.Put(bw)
 		t.res.st = pr.st
 		t.res.events = append([]int32(nil), pr.events...)
-		t.res.out = buf
+		t.res.sl = sl
 	}
 	pr.release()
 	prunerPool.Put(pr)

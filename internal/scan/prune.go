@@ -48,7 +48,9 @@ var prunerPool = sync.Pool{New: func() any { return &pruner{s: NewScanner(nil)} 
 // pruner state come from a pool and are returned on completion.
 func Prune(bw *bufio.Writer, src io.Reader, d *dtd.DTD, proj *dtd.Projection, opts Options) (Stats, error) {
 	pr := prunerPool.Get().(*pruner)
-	pr.reset(bw, src, d, proj, opts)
+	pr.s.Reset(src)
+	pr.prep(d, proj, opts)
+	pr.useStream(bw)
 	err := pr.run()
 	st := pr.st
 	pr.release()
@@ -56,11 +58,49 @@ func Prune(bw *bufio.Writer, src io.Reader, d *dtd.DTD, proj *dtd.Projection, op
 	return st, err
 }
 
-// reset prepares pooled state for a new input.
-func (pr *pruner) reset(bw *bufio.Writer, src io.Reader, d *dtd.DTD, proj *dtd.Projection, opts Options) {
-	pr.s.Reset(src)
+// PruneBytes is Prune over input that is already fully in memory: the
+// scanner aliases data (ResetBytes), so nothing is read or copied on
+// the input side and raw-copy windows stream straight out of data.
+// MaxTokenSize is not enforced — the cap exists to bound the streaming
+// scanner's buffer growth, and an in-memory input has no buffer to
+// grow; bound such inputs by size before handing them over.
+func PruneBytes(bw *bufio.Writer, data []byte, d *dtd.DTD, proj *dtd.Projection, opts Options) (Stats, error) {
+	pr := prunerPool.Get().(*pruner)
+	pr.s.ResetBytes(data)
+	pr.prep(d, proj, opts)
+	pr.useStream(bw)
+	err := pr.run()
+	st := pr.st
+	pr.release()
+	prunerPool.Put(pr)
+	return st, err
+}
+
+// PruneGather prunes in-memory input into sl: output is recorded as a
+// gather list of input spans plus a small escape buffer of synthesized
+// bytes, copying nothing. The rendered output (SpanList.WriteTo,
+// AppendTo, Bytes) is byte-identical to Prune's. sl is Reset over data
+// first. Like PruneBytes, MaxTokenSize is not enforced.
+func PruneGather(sl *SpanList, data []byte, d *dtd.DTD, proj *dtd.Projection, opts Options) (Stats, error) {
+	sl.Reset(data)
+	pr := prunerPool.Get().(*pruner)
+	pr.s.ResetBytes(data)
+	pr.prep(d, proj, opts)
+	pr.useGather(sl)
+	err := pr.run()
+	st := pr.st
+	pr.release()
+	prunerPool.Put(pr)
+	return st, err
+}
+
+// prep prepares pooled state for a new input. The caller has already
+// pointed the scanner at the input (Reset / ResetBytes / ResetBytesAt)
+// and must install an output target with useStream, useGather or
+// useDiscard before run.
+func (pr *pruner) prep(d *dtd.DTD, proj *dtd.Projection, opts Options) {
 	pr.s.SetMaxTokenSize(opts.MaxTokenSize)
-	pr.d, pr.p, pr.bw, pr.opts = d, proj, bw, opts
+	pr.d, pr.p, pr.opts = d, proj, opts
 	pr.st = Stats{}
 	pr.stack = pr.stack[:0]
 	pr.open, pr.sawRoot, pr.runPending = false, false, false
@@ -73,6 +113,21 @@ func (pr *pruner) reset(bw *bufio.Writer, src io.Reader, d *dtd.DTD, proj *dtd.P
 	pr.sp = nil
 }
 
+// useStream targets the classic buffered-copy output path. The
+// streamEmitter lives inside the pooled pruner, so installing it
+// allocates nothing.
+func (pr *pruner) useStream(bw *bufio.Writer) {
+	pr.se.bw = bw
+	pr.em = &pr.se
+}
+
+// useGather targets a span-gather list (in-memory inputs only: gather
+// spans are absolute input offsets, sound only in ResetBytes mode).
+func (pr *pruner) useGather(sl *SpanList) { pr.em = sl }
+
+// useDiscard wires a non-emitting role (skip fragments).
+func (pr *pruner) useDiscard() { pr.em = nopEmitter{} }
+
 // release drops references to per-prune inputs so the pool does not pin
 // the caller's reader, writer, DTD or projection. Scratch buffers keep
 // their capacity — that is the point of pooling.
@@ -82,7 +137,8 @@ func (pr *pruner) release() {
 	}
 	pr.stack = pr.stack[:0]
 	pr.s.Reset(nil)
-	pr.d, pr.p, pr.bw = nil, nil, nil
+	pr.d, pr.p = nil, nil
+	pr.em, pr.se.bw = nil, nil
 }
 
 // windowFlushSize bounds how many verbatim bytes a raw-copy window may
@@ -101,9 +157,13 @@ type pruner struct {
 	s    *Scanner
 	d    *dtd.DTD
 	p    *dtd.Projection
-	bw   *bufio.Writer
 	opts Options
 	st   Stats
+
+	// em is the output target; se backs it on the streaming path so
+	// installing the emitter never allocates.
+	em emitter
+	se streamEmitter
 
 	stack   []frame
 	open    bool // last start tag's '>' not yet written (enables <e/>)
@@ -364,7 +424,7 @@ func (pr *pruner) flushText() error {
 	}
 	if pr.p.Flags(top.sym)&dtd.KeepText != 0 {
 		pr.closeOpen()
-		writeEscapedText(pr.bw, pr.textBuf)
+		writeEscapedText(pr.em, pr.textBuf)
 		pr.st.TextOut++
 	}
 	pr.textBuf = pr.textBuf[:0]
@@ -383,7 +443,7 @@ func (pr *pruner) closeOpen() {
 		pr.openInWin = false
 		return
 	}
-	pr.bw.WriteByte('>')
+	pr.em.litByte('>')
 }
 
 // flushWindowUpTo writes the window's verbatim span up to mark-relative
@@ -400,7 +460,7 @@ func (pr *pruner) flushWindowUpTo(rel int) {
 		pr.openInWin = false
 	}
 	if end > 0 {
-		pr.bw.Write(s.buf[s.mark : s.mark+end])
+		pr.em.raw(s.buf, s.mark, s.mark+end)
 	}
 	s.clearMark()
 }
@@ -421,13 +481,13 @@ func (pr *pruner) maybeSlide() {
 	}
 	if pr.openInWin {
 		if pr.openRel > 0 {
-			pr.bw.Write(s.buf[s.mark : s.mark+pr.openRel])
+			pr.em.raw(s.buf, s.mark, s.mark+pr.openRel)
 			s.mark += pr.openRel
 			pr.openRel = 0
 		}
 		return
 	}
-	pr.bw.Write(s.buf[s.mark:s.pos])
+	pr.em.raw(s.buf, s.mark, s.pos)
 	s.mark = s.pos
 }
 
@@ -435,7 +495,7 @@ func (pr *pruner) maybeSlide() {
 func (pr *pruner) closeWindow() {
 	s := pr.s
 	if s.mark >= 0 && s.pos > s.mark {
-		pr.bw.Write(s.buf[s.mark:s.pos])
+		pr.em.raw(s.buf, s.mark, s.pos)
 	}
 	s.clearMark()
 	pr.win = false
@@ -747,8 +807,8 @@ func (pr *pruner) startTag(tokRel int) error {
 				pr.maybeSlide()
 			} else {
 				pr.flushWindowUpTo(tokRel)
-				pr.bw.Write(pr.tagBuf)
-				pr.bw.WriteString("/>")
+				pr.em.lit(pr.tagBuf)
+				pr.em.litString("/>")
 				pr.winRestart()
 			}
 			if len(pr.stack) < pr.winDepth {
@@ -756,10 +816,10 @@ func (pr *pruner) startTag(tokRel int) error {
 				pr.winDepth = 0
 			}
 		} else if canonical {
-			pr.bw.Write(s.buf[s.mark+tokRel : s.pos])
+			pr.em.raw(s.buf, s.mark+tokRel, s.pos)
 		} else {
-			pr.bw.Write(pr.tagBuf)
-			pr.bw.WriteString("/>")
+			pr.em.lit(pr.tagBuf)
+			pr.em.litString("/>")
 		}
 		return nil
 	}
@@ -772,16 +832,16 @@ func (pr *pruner) startTag(tokRel int) error {
 			pr.maybeSlide()
 		} else {
 			pr.flushWindowUpTo(tokRel)
-			pr.bw.Write(pr.tagBuf)
+			pr.em.lit(pr.tagBuf)
 			pr.openInWin = false
 			pr.winRestart()
 		}
 	} else if canonical {
 		// The trailing '>' stays deferred (closeOpen) so the element can
 		// still self-close in the output.
-		pr.bw.Write(s.buf[s.mark+tokRel : s.pos-1])
+		pr.em.raw(s.buf, s.mark+tokRel, s.pos-1)
 	} else {
-		pr.bw.Write(pr.tagBuf)
+		pr.em.lit(pr.tagBuf)
 	}
 	return nil
 }
@@ -838,10 +898,10 @@ func (pr *pruner) endTag(tokRel int) error {
 		pr.open = false
 		if pr.win {
 			pr.flushWindowUpTo(tokRel)
-			pr.bw.WriteString("/>")
+			pr.em.litString("/>")
 			pr.winRestart()
 		} else {
-			pr.bw.WriteString("/>")
+			pr.em.litString("/>")
 		}
 		pr.openInWin = false
 	} else if pr.win {
@@ -849,17 +909,17 @@ func (pr *pruner) endTag(tokRel int) error {
 			pr.maybeSlide()
 		} else {
 			pr.flushWindowUpTo(tokRel)
-			pr.bw.WriteString("</")
-			pr.bw.WriteString(info.Tag)
-			pr.bw.WriteByte('>')
+			pr.em.litString("</")
+			pr.em.litString(info.Tag)
+			pr.em.litByte('>')
 			pr.winRestart()
 		}
 	} else if len(prefixB) == 0 && spaceLen == 0 {
-		pr.bw.Write(s.buf[s.mark+tokRel : s.pos]) // raw "</tag>" is canonical
+		pr.em.raw(s.buf, s.mark+tokRel, s.pos) // raw "</tag>" is canonical
 	} else {
-		pr.bw.WriteString("</")
-		pr.bw.WriteString(info.Tag)
-		pr.bw.WriteByte('>')
+		pr.em.litString("</")
+		pr.em.litString(info.Tag)
+		pr.em.litByte('>')
 	}
 	if pr.win && len(pr.stack) < pr.winDepth {
 		pr.closeWindow()
@@ -877,9 +937,9 @@ func inEnum(enum []string, v []byte) bool {
 	return false
 }
 
-// writeEscapedText writes text content with the pruner's escaping
+// writeEscapedText emits text content with the pruner's escaping
 // (matching tree.EscapeText: &, < and > become entities).
-func writeEscapedText(bw *bufio.Writer, b []byte) {
+func writeEscapedText(em emitter, b []byte) {
 	last := 0
 	for i := 0; i < len(b); i++ {
 		var esc string
@@ -893,11 +953,11 @@ func writeEscapedText(bw *bufio.Writer, b []byte) {
 		default:
 			continue
 		}
-		bw.Write(b[last:i])
-		bw.WriteString(esc)
+		em.lit(b[last:i])
+		em.litString(esc)
 		last = i + 1
 	}
-	bw.Write(b[last:])
+	em.lit(b[last:])
 }
 
 // appendEscapedAttr appends an attribute value with the pruner's

@@ -187,7 +187,8 @@ func TestScannerBufferBoundaries(t *testing.T) {
 	var sb strings.Builder
 	bw := bufio.NewWriter(&sb)
 	s := NewScanner(iotest(strings.NewReader(doc)))
-	pr := &pruner{s: s, d: d, p: p, bw: bw, opts: Options{RawCopy: true}}
+	pr := &pruner{s: s, d: d, p: p, opts: Options{RawCopy: true}}
+	pr.useStream(bw)
 	if err := pr.run(); err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,8 @@ func TestNoProgressReaderErrors(t *testing.T) {
 	var sb strings.Builder
 	bw := bufio.NewWriter(&sb)
 	s := NewScanner(noProgressReader{strings.NewReader(`<bib><book isbn="1">`)})
-	pr := &pruner{s: s, d: d, p: p, bw: bw, opts: Options{}}
+	pr := &pruner{s: s, d: d, p: p, opts: Options{}}
+	pr.useStream(bw)
 	err := pr.run()
 	if err != io.ErrNoProgress {
 		t.Fatalf("want io.ErrNoProgress, got %v", err)

@@ -71,6 +71,7 @@ type metrics struct {
 	timeouts      atomic.Int64 // request deadline passed mid-prune (408)
 	pruneFailures atomic.Int64 // the document itself failed to prune (422)
 	clientGone    atomic.Int64 // client disconnected mid-request
+	gatherPrunes  atomic.Int64 // requests served by the span-gather path
 	inFlight      atomic.Int64 // prunes currently holding an admission slot
 	bytesIn       atomic.Int64
 	bytesOut      atomic.Int64
@@ -87,6 +88,7 @@ func (m *metrics) snapshot() map[string]any {
 		"timeouts":             m.timeouts.Load(),
 		"prune_failures":       m.pruneFailures.Load(),
 		"client_gone":          m.clientGone.Load(),
+		"gather_prunes":        m.gatherPrunes.Load(),
 		"in_flight":            m.inFlight.Load(),
 		"bytes_in":             m.bytesIn.Load(),
 		"bytes_out":            m.bytesOut.Load(),
@@ -103,10 +105,11 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		"engine": s.eng.MetricsMap(),
 		"server": s.m.snapshot(),
 		"limits": map[string]any{
-			"max_body_bytes": s.maxBody,
-			"max_token_size": s.opts.MaxTokenSize,
-			"max_concurrent": cap(s.sem),
-			"intra_workers":  s.intraWorkers,
+			"max_body_bytes":   s.maxBody,
+			"max_token_size":   s.opts.MaxTokenSize,
+			"max_gather_bytes": s.maxGather,
+			"max_concurrent":   cap(s.sem),
+			"intra_workers":    s.intraWorkers,
 		},
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")

@@ -17,6 +17,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -29,6 +30,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"sync"
 	"time"
 
 	"xmlproj"
@@ -37,6 +40,12 @@ import (
 // DefaultMaxBodyBytes bounds request bodies when Options.MaxBodyBytes
 // is zero: 1 GiB, far above any sensible document but finite.
 const DefaultMaxBodyBytes = 1 << 30
+
+// DefaultMaxGatherBytes bounds the span-gather fast path when
+// Options.MaxGatherBytes is zero: bodies of known length up to 32 MiB
+// are buffered once and pruned in place, and the response carries a
+// real Content-Length instead of a trailer.
+const DefaultMaxGatherBytes = 32 << 20
 
 // Options configures a Server.
 type Options struct {
@@ -51,6 +60,14 @@ type Options struct {
 	// means the scanner default, 8 MiB), so one hostile token cannot
 	// take the server's memory hostage.
 	MaxTokenSize int
+	// MaxGatherBytes bounds the span-gather fast path: a body with a
+	// declared Content-Length up to this is buffered whole, pruned in
+	// place with zero output copies (the kept subtrees are sent straight
+	// from the request buffer), and answered with a real Content-Length
+	// — prune failures get a clean error status instead of a trailer.
+	// Larger or unsized bodies stream as before. Zero means
+	// DefaultMaxGatherBytes, negative disables the path.
+	MaxGatherBytes int64
 	// MaxConcurrent bounds prunes running at once; requests beyond it
 	// wait up to AdmissionWait for a slot and are then rejected with
 	// 429. Zero means GOMAXPROCS.
@@ -77,6 +94,7 @@ type Server struct {
 	projections  map[string]*namedProjection
 	sem          chan struct{}
 	maxBody      int64
+	maxGather    int64
 	intraWorkers int
 	log          *slog.Logger
 	m            metrics
@@ -105,6 +123,10 @@ func New(opts Options) *Server {
 	if maxBody == 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	maxGather := opts.MaxGatherBytes
+	if maxGather == 0 {
+		maxGather = DefaultMaxGatherBytes
+	}
 	logger := opts.Logger
 	if logger == nil {
 		logger = slog.Default()
@@ -116,6 +138,7 @@ func New(opts Options) *Server {
 		projections: make(map[string]*namedProjection),
 		sem:         make(chan struct{}, width),
 		maxBody:     maxBody,
+		maxGather:   maxGather,
 		// The same budget rule as engine.PruneBatch, fed by the
 		// admission width: MaxConcurrent requests at full load share
 		// the CPUs, so each prune gets GOMAXPROCS/MaxConcurrent
@@ -308,6 +331,11 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 	}
 	body := &meteredBody{r: src, size: r.ContentLength}
 
+	if s.maxGather > 0 && body.size > 0 && body.size <= s.maxGather {
+		s.pruneGathered(w, r, np, body, ctx, rc, start)
+		return
+	}
+
 	// Headers must be final before the first body byte: declare the
 	// error trailer now, since a mid-stream failure can no longer change
 	// the status code.
@@ -334,28 +362,9 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 		_ = rc.SetWriteDeadline(time.Time{})
 	}
 
-	s.m.bytesIn.Add(body.n)
-	s.m.bytesOut.Add(stats.BytesOut)
-	s.m.latency.observe(elapsed)
-	s.eng.RecordPrune(body.n, stats, det, err)
-
 	status := http.StatusOK
 	if err != nil {
-		var mbe *http.MaxBytesError
-		switch {
-		case errors.As(err, &mbe):
-			status = http.StatusRequestEntityTooLarge
-			s.m.rejectedLarge.Add(1)
-		case errors.Is(err, context.DeadlineExceeded), isTimeout(err):
-			status = http.StatusRequestTimeout
-			s.m.timeouts.Add(1)
-		case errors.Is(err, context.Canceled):
-			status = statusClientGone
-			s.m.clientGone.Add(1)
-		default:
-			status = http.StatusUnprocessableEntity
-			s.m.pruneFailures.Add(1)
-		}
+		status = s.classifyPruneErr(err)
 		if cw.wrote {
 			// Bytes are out; the only channel left is the trailer.
 			w.Header().Set(errorTrailer, err.Error())
@@ -363,7 +372,107 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 			w.Header().Del("Trailer")
 			http.Error(w, err.Error(), status)
 		}
+	}
+	s.finish(r, status, body, stats, chosen, det, elapsed, err)
+}
+
+// gatherBufPool recycles the request-body buffers of the span-gather
+// path; maxPooledGatherBuf keeps an occasional huge body (a raised
+// MaxGatherBytes) from pinning its buffer in the pool forever.
+var gatherBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledGatherBuf = DefaultMaxGatherBytes
+
+// pruneGathered serves a body of known, bounded length on the
+// span-gather path: the body is buffered once, pruned with zero output
+// copies (prune output is a gather list over the request buffer), and
+// the response carries a real Content-Length. Because nothing is
+// written before the prune finishes, errors get a clean pre-write
+// status — no trailer.
+func (s *Server) pruneGathered(w http.ResponseWriter, r *http.Request, np *namedProjection, body *meteredBody, ctx context.Context, rc *http.ResponseController, start time.Time) {
+	buf := gatherBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.Grow(int(body.size))
+	_, err := buf.ReadFrom(body)
+
+	var det xmlproj.ParallelStages
+	chosen := xmlproj.PruneAuto
+	var stats xmlproj.PruneStats
+	var res *xmlproj.PruneResult
+	if err == nil {
+		res, err = np.p.PruneGather(buf.Bytes(), xmlproj.StreamOptions{
+			Validate:     np.validate,
+			MaxTokenSize: s.opts.MaxTokenSize,
+			IntraWorkers: s.intraWorkers,
+			Context:      ctx,
+			Detail:       &det,
+			Chosen:       &chosen,
+		})
+		if res != nil {
+			stats = res.Stats
+		}
+	}
+	elapsed := time.Since(start)
+
+	if rc != nil {
+		// Clear the prune deadlines so the response (possibly written
+		// after an expired deadline) still reaches the client.
+		_ = rc.SetReadDeadline(time.Time{})
+		_ = rc.SetWriteDeadline(time.Time{})
+	}
+
+	status := http.StatusOK
+	if err != nil {
+		status = s.classifyPruneErr(err)
+		http.Error(w, err.Error(), status)
 	} else {
+		s.m.gatherPrunes.Add(1)
+		w.Header().Set("Content-Type", "application/xml")
+		w.Header().Set("Content-Length", strconv.FormatInt(res.Len(), 10))
+		if _, werr := res.WriteTo(w); werr != nil {
+			// The status line is out; record the failure for logs and
+			// metrics. A write error here means the client stopped
+			// reading, so classify accordingly.
+			err = werr
+			status = s.classifyPruneErr(werr)
+		}
+		res.Close()
+	}
+	// The gather result referenced buf until Close; only now may the
+	// buffer be reused.
+	if buf.Cap() <= maxPooledGatherBuf {
+		gatherBufPool.Put(buf)
+	}
+	s.finish(r, status, body, stats, chosen, det, elapsed, err)
+}
+
+// classifyPruneErr maps a failed prune (or body read) to its HTTP
+// status, bumping the matching outcome counter.
+func (s *Server) classifyPruneErr(err error) int {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe):
+		s.m.rejectedLarge.Add(1)
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded), isTimeout(err):
+		s.m.timeouts.Add(1)
+		return http.StatusRequestTimeout
+	case errors.Is(err, context.Canceled):
+		s.m.clientGone.Add(1)
+		return statusClientGone
+	default:
+		s.m.pruneFailures.Add(1)
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// finish records the request's metrics and log line.
+func (s *Server) finish(r *http.Request, status int, body *meteredBody, stats xmlproj.PruneStats, chosen xmlproj.PruneEngine, det xmlproj.ParallelStages, elapsed time.Duration, err error) {
+	s.m.bytesIn.Add(body.n)
+	s.m.bytesOut.Add(stats.BytesOut)
+	s.m.latency.observe(elapsed)
+	s.eng.RecordPrune(body.n, stats, det, err)
+	if err == nil {
 		s.m.ok.Add(1)
 	}
 	s.logRequest(r, status, body.n, stats.BytesOut, chosen, det, elapsed, err)

@@ -518,3 +518,66 @@ func TestValidateParam(t *testing.T) {
 		t.Fatalf("validated prune of invalid doc: status %d (body %q)", resp.StatusCode, body)
 	}
 }
+
+// TestGatherPath: a body of known, bounded length is served by the
+// span-gather path — the response carries a real Content-Length (no
+// trailer), the output matches the streaming pruner byte for byte, the
+// gather counter moves, and a prune failure gets a clean error status.
+func TestGatherPath(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	d, err := xmlproj.ParseDTDString(bibDTD, "bib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := xmlproj.Compile("//book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Infer(xmlproj.Materialized, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := p.PruneStreamOpts(&want, strings.NewReader(bibDoc), xmlproj.StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, got := postPrune(t, ts, "/prune?projection=titles", strings.NewReader(bibDoc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != fmt.Sprint(want.Len()) {
+		t.Errorf("Content-Length = %q, want %d", cl, want.Len())
+	}
+	if resp.Header.Get("Trailer") != "" {
+		t.Errorf("gather response declared a trailer")
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("gather output differs from streaming prune:\n got: %q\nwant: %q", got, want.Bytes())
+	}
+	if n := s.m.gatherPrunes.Load(); n != 1 {
+		t.Errorf("gather_prunes = %d, want 1", n)
+	}
+
+	// A bad document fails with a clean pre-write status on this path.
+	resp, _ = postPrune(t, ts, "/prune?projection=titles", strings.NewReader("<bib><unknown/></bib>"))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad document: status %d, want 422", resp.StatusCode)
+	}
+
+	// Disabling the path falls back to streaming: chunked-style
+	// trailer-declared responses, no gather counter movement.
+	s2 := newTestServer(t, Options{MaxGatherBytes: -1})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp, got = postPrune(t, ts2, "/prune?projection=titles", strings.NewReader(bibDoc))
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("streaming fallback: status %d, output match %v", resp.StatusCode, bytes.Equal(got, want.Bytes()))
+	}
+	if n := s2.m.gatherPrunes.Load(); n != 0 {
+		t.Errorf("gather_prunes = %d with path disabled", n)
+	}
+}

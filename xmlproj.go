@@ -526,6 +526,73 @@ type StreamOptions struct {
 // cancellation — what a long-lived server needs to run untrusted
 // streams through the pruner safely.
 func (p *Projector) PruneStreamOpts(dst io.Writer, src io.Reader, opts StreamOptions) (PruneStats, error) {
+	popts, finish := streamOptsOf(opts)
+	st, err := prune.Stream(dst, src, p.d, p.pr.Names, popts)
+	finish()
+	return pruneStatsOf(st), err
+}
+
+// PruneBytes is PruneStreamOpts over input that is already fully in
+// memory: the scanner tokenizes data in place, so the input side of
+// the prune copies nothing. Note MaxTokenSize is not enforced on the
+// in-memory scanner paths (len(data) already bounds memory); bound
+// such inputs by size.
+func (p *Projector) PruneBytes(dst io.Writer, data []byte, opts StreamOptions) (PruneStats, error) {
+	popts, finish := streamOptsOf(opts)
+	st, err := prune.StreamBytes(dst, data, p.d, p.pr.Names, popts)
+	finish()
+	return pruneStatsOf(st), err
+}
+
+// PruneResult is the span-gather outcome of PruneGather: the pruned
+// output described as spans over the caller's input plus a small
+// buffer of synthesized bytes. WriteTo flushes it with vectored I/O —
+// over a TCP connection the kept subtrees go to the kernel straight
+// from the input buffer, never copied in user space. The input slice
+// must stay alive and unmodified until Close.
+type PruneResult struct {
+	// Stats reports what the prune did; BytesOut is the rendered size.
+	Stats PruneStats
+	g     *prune.Gather
+}
+
+// WriteTo renders the pruned document to w (io.WriterTo).
+func (r *PruneResult) WriteTo(w io.Writer) (int64, error) { return r.g.WriteTo(w) }
+
+// Bytes materialises the pruned document in a fresh slice.
+func (r *PruneResult) Bytes() []byte { return r.g.Bytes() }
+
+// Len is the rendered output size in bytes.
+func (r *PruneResult) Len() int64 { return r.g.Len() }
+
+// RawBytes counts output bytes referenced in place from the input —
+// bytes the prune never copied.
+func (r *PruneResult) RawBytes() int64 { return r.g.RawBytes() }
+
+// Segments is the number of gather segments (writev iovecs).
+func (r *PruneResult) Segments() int { return r.g.Segments() }
+
+// Close releases the result's internal state for reuse. Safe to call
+// more than once; the result must not be used afterwards.
+func (r *PruneResult) Close() error { return r.g.Close() }
+
+// PruneGather prunes in-memory input without rendering it: output is
+// recorded as a gather list over data, so nothing is copied until the
+// result is flushed. Rendered output is byte-identical to PruneStream.
+// The caller must Close the result.
+func (p *Projector) PruneGather(data []byte, opts StreamOptions) (*PruneResult, error) {
+	popts, finish := streamOptsOf(opts)
+	g, st, err := prune.StreamGather(data, p.d, p.pr.Names, popts)
+	finish()
+	if err != nil {
+		return nil, err
+	}
+	return &PruneResult{Stats: pruneStatsOf(st), g: g}, nil
+}
+
+// streamOptsOf converts public stream options; the returned finish
+// writes Detail/Chosen back after the prune ran.
+func streamOptsOf(opts StreamOptions) (prune.StreamOptions, func()) {
 	popts := prune.StreamOptions{
 		Validate:        opts.Validate,
 		Engine:          prune.Engine(opts.Engine),
@@ -541,21 +608,21 @@ func (p *Projector) PruneStreamOpts(dst io.Writer, src io.Reader, opts StreamOpt
 	if opts.Chosen != nil {
 		popts.Chosen = &chosen
 	}
-	st, err := prune.Stream(dst, src, p.d, p.pr.Names, popts)
-	if opts.Detail != nil {
-		*opts.Detail = ParallelStages{
-			IndexTime:  det.IndexTime,
-			PruneTime:  det.PruneTime,
-			StitchTime: det.StitchTime,
-			Workers:    det.Workers,
-			Tasks:      det.Tasks,
-			Fallback:   det.Fallback,
+	return popts, func() {
+		if opts.Detail != nil {
+			*opts.Detail = ParallelStages{
+				IndexTime:  det.IndexTime,
+				PruneTime:  det.PruneTime,
+				StitchTime: det.StitchTime,
+				Workers:    det.Workers,
+				Tasks:      det.Tasks,
+				Fallback:   det.Fallback,
+			}
+		}
+		if opts.Chosen != nil {
+			*opts.Chosen = PruneEngine(chosen)
 		}
 	}
-	if opts.Chosen != nil {
-		*opts.Chosen = PruneEngine(chosen)
-	}
-	return pruneStatsOf(st), err
 }
 
 func pruneStatsOf(st prune.Stats) PruneStats {
