@@ -141,6 +141,8 @@ func runStreamPrune(factor float64, seed int64, out string, opts bench.StreamPru
 		rep.SpeedupParallel, rep.SpeedupParallelLow, rep.GOMAXPROCS, rep.NumCPU)
 	fmt.Fprintf(stdout, "gather: %.1fx fewer allocated bytes than the copying scanner on low; %.1f%% of output bytes copied\n",
 		rep.GatherAllocRatioLow, 100*rep.GatherCopiedFracLow)
+	fmt.Fprintf(stdout, "multi: shared scan over 4 projectors is %.2fx faster than 4 serial gathers\n",
+		rep.SpeedupMultiX4)
 	if rep.NumCPU == 1 {
 		fmt.Fprintln(stdout, "parallel: single-CPU host; speedup not meaningful (output parity still asserted)")
 	}

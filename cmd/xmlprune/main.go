@@ -62,11 +62,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	keepGoing := fs.Bool("keep-going", false, "with multiple inputs, prune the rest after a document fails")
 	intra := fs.Int("intra", 0, "intra-document parallel pruning workers; 0 auto-selects per document, >0 forces the parallel pruner")
 	chunk := fs.Int("chunk", 0, "stage-1 index chunk size in bytes for intra-document parallelism (0 = auto)")
-	var queries, ins stringList
+	var queries, ins, projSpecs stringList
 	fs.Var(&queries, "q", "query (XPath or XQuery); repeatable")
 	fs.Var(&ins, "in", "input document or glob pattern; repeatable (default stdin)")
+	fs.Var(&projSpecs, "proj", "named projection name=query;query — repeatable: one shared scan prunes the input against every -proj at once, writing <out>/<name>.xml per projection")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if len(projSpecs) > 0 {
+		if len(queries) > 0 || *loadProj != "" {
+			return fmt.Errorf("-proj does not combine with -q or -load-projector")
+		}
+		if *dtdPath == "" {
+			fs.Usage()
+			return fmt.Errorf("-dtd is required")
+		}
+		return runMulti(projSpecs, ins, *dtdPath, *root, *out, *materialize, *validateFlag, *show, stdin, stdout, stderr)
 	}
 
 	if *dtdPath == "" || (len(queries) == 0 && *loadProj == "") {
@@ -265,6 +277,159 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			agg.ElementsIn, agg.ElementsOut, agg.BytesIn, agg.BytesOut, mbps, agg.MaxDepth)
 	}
 	return batchErr
+}
+
+// runMulti prunes one document against every -proj projection in a
+// single shared scan: the projector set is fused into one decision
+// table and the input is tokenized once, however many projections ride
+// the pass. Each projection's output is byte-identical to a serial
+// prune with it alone.
+func runMulti(specs, ins stringList, dtdPath, root, out string, materialize, validate, show bool, stdin io.Reader, stdout, stderr io.Writer) error {
+	d, err := parseSchema(dtdPath, root)
+	if err != nil {
+		return err
+	}
+	mode := xmlproj.NodesOnly
+	if materialize {
+		mode = xmlproj.Materialized
+	}
+	names := make([]string, 0, len(specs))
+	projectors := make([]*xmlproj.Projector, 0, len(specs))
+	seen := make(map[string]bool)
+	start := time.Now()
+	for _, spec := range specs {
+		name, qsrc, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || qsrc == "" {
+			return fmt.Errorf("-proj %q: want name=query;query", spec)
+		}
+		if seen[name] {
+			return fmt.Errorf("-proj name %q given twice", name)
+		}
+		seen[name] = true
+		var compiled []*xmlproj.Query
+		for _, src := range strings.Split(qsrc, ";") {
+			if src = strings.TrimSpace(src); src == "" {
+				continue
+			}
+			q, err := xmlproj.Compile(src)
+			if err != nil {
+				return fmt.Errorf("-proj %s: query %q: %w", name, src, err)
+			}
+			compiled = append(compiled, q)
+		}
+		p, err := d.Infer(mode, compiled...)
+		if err != nil {
+			return fmt.Errorf("-proj %s: %w", name, err)
+		}
+		names = append(names, name)
+		projectors = append(projectors, p)
+	}
+	inferTime := time.Since(start)
+
+	if show {
+		for j, p := range projectors {
+			fmt.Fprintf(stdout, "%s: projector (%d names, keep ratio %.1f%%):\n",
+				names[j], len(p.Names()), 100*p.KeepRatio())
+			for _, n := range p.Names() {
+				fmt.Fprintln(stdout, " ", n)
+			}
+		}
+		return nil
+	}
+
+	inputs, err := expandInputs(ins)
+	if err != nil {
+		return err
+	}
+	if len(inputs) > 1 {
+		return fmt.Errorf("-proj prunes one document against many projections; got %d inputs", len(inputs))
+	}
+
+	// The shared scan tokenizes in place, so the input is materialised
+	// once: mapped when it is a regular file, read otherwise.
+	var data []byte
+	var mapped *mmapio.Data
+	inName := "stdin"
+	if len(inputs) == 1 {
+		inName = inputs[0]
+		if m, merr := mmapio.Open(inputs[0]); merr == nil {
+			mapped = m
+			data = m.Bytes()
+		} else if data, err = os.ReadFile(inputs[0]); err != nil {
+			return err
+		}
+	} else if data, err = io.ReadAll(stdin); err != nil {
+		return err
+	}
+	if mapped != nil {
+		defer mapped.Close()
+	}
+
+	// Resolve destinations: several projections need -out as a directory
+	// (one <name>.xml each); a single one behaves like a plain prune.
+	sinkPath := make([]string, len(specs))
+	if len(specs) > 1 || isDir(out) {
+		if out == "" {
+			return fmt.Errorf("several -proj outputs need -out naming a directory")
+		}
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		for j, name := range names {
+			sinkPath[j] = filepath.Join(out, name+".xml")
+		}
+	} else {
+		sinkPath[0] = out // possibly "": stdout
+	}
+
+	start = time.Now()
+	results, errs := xmlproj.PruneMultiGather(projectors, data, xmlproj.StreamOptions{Validate: validate})
+	elapsed := time.Since(start)
+
+	var firstErr error
+	var bytesOut int64
+	for j := range specs {
+		if errs[j] != nil {
+			fmt.Fprintf(stderr, "xmlprune: %s: %v\n", names[j], errs[j])
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", names[j], errs[j])
+			}
+			continue
+		}
+		res := results[j]
+		werr := func() error {
+			if sinkPath[j] == "" {
+				_, werr := res.WriteTo(stdout)
+				return werr
+			}
+			f, err := os.Create(sinkPath[j])
+			if err != nil {
+				return err
+			}
+			if _, err := res.WriteTo(f); err != nil {
+				f.Close()
+				os.Remove(sinkPath[j])
+				return err
+			}
+			return f.Close()
+		}()
+		st := res.Stats
+		res.Close()
+		if werr != nil {
+			fmt.Fprintf(stderr, "xmlprune: %s: %v\n", names[j], werr)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", names[j], werr)
+			}
+			continue
+		}
+		bytesOut += st.BytesOut
+		fmt.Fprintf(stderr, "xmlprune: %s: elements %d -> %d; %d bytes out\n",
+			names[j], st.ElementsIn, st.ElementsOut, st.BytesOut)
+	}
+	fmt.Fprintf(stderr,
+		"xmlprune: %d projections inferred in %s; shared scan over %s (%d bytes) in %s; %d bytes out total\n",
+		len(specs), inferTime, inName, len(data), elapsed, bytesOut)
+	return firstErr
 }
 
 // expandInputs glob-expands every -in value; a value without matches is

@@ -232,3 +232,75 @@ func TestRunMissingArgs(t *testing.T) {
 		t.Fatal("missing DTD file accepted")
 	}
 }
+
+func TestRunMultiProj(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "bib.dtd", testDTD)
+	docPath := write(t, dir, "bib.xml", testDoc)
+	outDir := filepath.Join(dir, "out")
+
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-dtd", dtdPath, "-in", docPath, "-out", outDir,
+		"-proj", "titles=//book/title",
+		"-proj", "authors=//book/author",
+	}, strings.NewReader(""), &out, &errBuf)
+	if err != nil {
+		t.Fatalf("%v\nstderr: %s", err, errBuf.String())
+	}
+
+	// Each output must match a serial single-projection run.
+	for _, c := range []struct{ name, query, want, reject string }{
+		{"titles", "//book/title", "Commedia", "Dante"},
+		{"authors", "//book/author", "Dante", "Commedia"},
+	} {
+		got, rerr := os.ReadFile(filepath.Join(outDir, c.name+".xml"))
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if !strings.Contains(string(got), c.want) || strings.Contains(string(got), c.reject) {
+			t.Fatalf("%s output wrong: %s", c.name, got)
+		}
+		var serial, serialErr bytes.Buffer
+		if err := run([]string{"-dtd", dtdPath, "-q", c.query},
+			strings.NewReader(testDoc), &serial, &serialErr); err != nil {
+			t.Fatal(err)
+		}
+		if serial.String() != string(got) {
+			t.Fatalf("%s diverges from serial prune\nmulti:  %q\nserial: %q", c.name, got, serial.String())
+		}
+	}
+	if !strings.Contains(errBuf.String(), "shared scan") {
+		t.Fatalf("summary missing: %s", errBuf.String())
+	}
+}
+
+func TestRunMultiProjSingleToStdout(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "bib.dtd", testDTD)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-dtd", dtdPath, "-proj", "titles=//book/title"},
+		strings.NewReader(testDoc), &out, &errBuf)
+	if err != nil {
+		t.Fatalf("%v\nstderr: %s", err, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "<title>Commedia</title>") || strings.Contains(out.String(), "Dante") {
+		t.Fatalf("stdout output wrong: %s", out.String())
+	}
+}
+
+func TestRunMultiProjBadSpecs(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "bib.dtd", testDTD)
+	for _, args := range [][]string{
+		{"-dtd", dtdPath, "-proj", "noequals"},
+		{"-dtd", dtdPath, "-proj", "a=//book/title", "-proj", "a=//book/year"},
+		{"-dtd", dtdPath, "-proj", "a=//book/title", "-q", "//book/year"},
+		{"-dtd", dtdPath, "-proj", "a=//book/title", "-proj", "b=//book/year"}, // two projs, no -out
+	} {
+		var out, errBuf bytes.Buffer
+		if err := run(args, strings.NewReader(testDoc), &out, &errBuf); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

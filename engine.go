@@ -234,6 +234,42 @@ func (eng *Engine) PruneBatch(ctx context.Context, p *Projector, jobs []BatchJob
 	}, err
 }
 
+// PruneMultiGather is the package-level PruneMultiGather routed through
+// the engine's caches: each member projection is compiled once per
+// (schema, π) workload and the fused decision table once per ordered
+// projector set, both LRU-cached with single-flight deduplication. The
+// returned flag reports whether the fused table was answered from the
+// cache (false also when the set exceeds the fuse limit and was
+// sharded). Results follow the package-level contract: per-projector
+// verdicts, Close every non-nil result.
+func (eng *Engine) PruneMultiGather(ps []*Projector, data []byte, opts StreamOptions) ([]*PruneResult, []error, bool) {
+	results := make([]*PruneResult, len(ps))
+	errs := make([]error, len(ps))
+	if len(ps) == 0 {
+		return results, errs, false
+	}
+	d, pis, err := multiProjectorSet(ps)
+	if err != nil {
+		for j := range errs {
+			errs[j] = err
+		}
+		return results, errs, false
+	}
+	mp, projs, hit := eng.e.MultiProjectionFor(d, pis)
+	mopts := multiOptsOf(opts)
+	mopts.Projections = projs
+	mopts.Combined = mp
+	gathers, stats, gerrs := prune.StreamMultiGather(data, d, pis, mopts)
+	for j := range ps {
+		if gerrs[j] != nil {
+			errs[j] = gerrs[j]
+			continue
+		}
+		results[j] = &PruneResult{Stats: pruneStatsOf(stats[j]), g: gathers[j]}
+	}
+	return results, errs, hit
+}
+
 // EngineMetrics is a point-in-time snapshot of an engine's counters.
 type EngineMetrics struct {
 	// CacheHits counts InferCached calls answered from the cache,
@@ -254,6 +290,10 @@ type EngineMetrics struct {
 	// lookups: PruneBatch compiles π against the schema's symbol table
 	// once per (schema, π) workload and reuses it across batches.
 	ProjectionHits, ProjectionMisses int64
+	// MultiHits / MultiMisses count fused multi-projection decision-table
+	// cache lookups (PruneMultiGather fuses an ordered projector set once
+	// per workload).
+	MultiHits, MultiMisses int64
 	// ParallelPrunes counts jobs that ran on the intra-document parallel
 	// pruner; ParallelFallbacks the subset handed back to the serial
 	// scanner. IndexTime, FragmentTime and StitchTime accumulate the
@@ -279,6 +319,8 @@ func (eng *Engine) Metrics() EngineMetrics {
 		BytesOut:         m.BytesOut,
 		ProjectionHits:   m.ProjectionHits,
 		ProjectionMisses: m.ProjectionMisses,
+		MultiHits:        m.MultiHits,
+		MultiMisses:      m.MultiMisses,
 
 		ParallelPrunes:    m.ParallelPrunes,
 		ParallelFallbacks: m.ParallelFallbacks,

@@ -21,10 +21,16 @@ type StreamPruneCase struct {
 	// Engine is "scanner" (internal/scan), "decoder" (encoding/xml),
 	// "parallel" (the two-stage intra-document parallel pruner), or the
 	// span-gather variants "gather" / "gather-parallel" (output recorded
-	// as spans over the input instead of copied).
+	// as spans over the input instead of copied). The shared-scan cases
+	// are "multi" (one fused pass over N projectors) and "serial-xN"
+	// (the same N projectors as consecutive serial gathers — the
+	// baseline the fused pass is measured against).
 	Engine string `json:"engine"`
 	// Validate reports whether validation was fused into the prune.
 	Validate bool `json:"validate"`
+	// Projectors is how many projectors the case evaluated at once; 0
+	// means an ordinary single-projector case.
+	Projectors int `json:"projectors,omitempty"`
 
 	NsPerOp     int64   `json:"ns_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec"`
@@ -82,8 +88,14 @@ type StreamPruneReport struct {
 	GatherAllocRatioLow float64 `json:"gather_alloc_ratio_low"`
 	// GatherCopiedFracLow is copied_bytes/bytes_out for the gather
 	// engine on the low projector; 0 means fully zero-copy output.
-	GatherCopiedFracLow float64           `json:"gather_copied_frac_low"`
-	Cases               []StreamPruneCase `json:"cases"`
+	GatherCopiedFracLow float64 `json:"gather_copied_frac_low"`
+	// SpeedupMultiX4 divides the wall time of 4 consecutive serial
+	// gathers (one per low-selectivity projector) by one shared scan
+	// evaluating the same 4 projectors at once: 4.0 would mean the fused
+	// pass is free beyond the first projector, 1.0 that sharing buys
+	// nothing.
+	SpeedupMultiX4 float64           `json:"speedup_multi_x4"`
+	Cases          []StreamPruneCase `json:"cases"`
 }
 
 // StreamPruneProjectors returns the benchmark π shapes over the XMark
@@ -105,6 +117,24 @@ func StreamPruneProjectors(d *dtd.DTD) []struct {
 		Name string
 		Pi   dtd.NameSet
 	}{{"low", low}, {"mid", mid}, {"full", full}}
+}
+
+// StreamPruneMultiProjectors returns the shared-scan benchmark set:
+// four low-selectivity projectors over disjoint XMark subtrees, the
+// shape the fused pass wins most on — each serial run re-scans the
+// whole document to keep a thin slice of it, while the shared scan
+// tokenizes once for all four.
+func StreamPruneMultiProjectors() []dtd.NameSet {
+	return []dtd.NameSet{
+		dtd.NewNameSet("site", "regions", "africa", "item", "item@id",
+			"location", "location#text"),
+		dtd.NewNameSet("site", "people", "person", "person@id", "name",
+			"name#text"),
+		dtd.NewNameSet("site", "open_auctions", "open_auction",
+			"open_auction@id", "initial", "initial#text"),
+		dtd.NewNameSet("site", "categories", "category", "category@id",
+			"name", "name#text"),
+	}
 }
 
 // RunStreamPrune benchmarks prune.Stream on the serial scanner, the
@@ -228,6 +258,98 @@ func RunStreamPrune(factor float64, seed int64, opts StreamPruneOptions) (*Strea
 			}
 		}
 	}
+	// Shared-scan cases: the same 4 low-selectivity projectors as one
+	// fused pass ("multi") and as 4 consecutive serial gathers
+	// ("serial-x4"). Parity first: every fused output must be
+	// byte-identical to its serial gather.
+	multiPis := StreamPruneMultiProjectors()
+	multiProjs := make([]*dtd.Projection, len(multiPis))
+	for j, pi := range multiPis {
+		multiProjs[j] = w.D.CompileProjection(pi)
+	}
+	combined, err := dtd.CombineProjections(multiProjs)
+	if err != nil {
+		return nil, fmt.Errorf("combine projections: %w", err)
+	}
+	mopts := prune.MultiOptions{Projections: multiProjs, Combined: combined}
+	serialOf := func(j int) (*prune.Gather, prune.Stats, error) {
+		return prune.StreamGather(w.DocBytes, w.D, multiPis[j], prune.StreamOptions{
+			Engine: prune.EngineScanner, Projection: multiProjs[j],
+		})
+	}
+	gathers, _, merrs := prune.StreamMultiGather(w.DocBytes, w.D, multiPis, mopts)
+	for j := range multiPis {
+		if merrs[j] != nil {
+			return nil, fmt.Errorf("multi prune (projector %d): %w", j, merrs[j])
+		}
+		g, _, err := serialOf(j)
+		if err != nil {
+			return nil, fmt.Errorf("serial gather (projector %d): %w", j, err)
+		}
+		same := bytes.Equal(gathers[j].Bytes(), g.Bytes())
+		g.Close()
+		gathers[j].Close()
+		if !same {
+			return nil, fmt.Errorf("shared-scan output differs from serial gather on projector %d", j)
+		}
+	}
+
+	var multiOut int64
+	rMulti := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gs, sts, errs := prune.StreamMultiGather(w.DocBytes, w.D, multiPis, mopts)
+			multiOut = 0
+			for j, g := range gs {
+				if errs[j] != nil {
+					b.Fatal(errs[j])
+				}
+				multiOut += sts[j].BytesOut
+				g.Close()
+			}
+		}
+	})
+	var serialOut int64
+	rSerial := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			serialOut = 0
+			for j := range multiPis {
+				g, st, err := serialOf(j)
+				if err != nil {
+					b.Fatal(err)
+				}
+				serialOut += st.BytesOut
+				g.Close()
+			}
+		}
+	})
+	for _, mc := range []struct {
+		name string
+		r    testing.BenchmarkResult
+		out  int64
+	}{{"multi", rMulti, multiOut}, {"serial-x4", rSerial, serialOut}} {
+		c := StreamPruneCase{
+			Projector:   "low4",
+			Engine:      mc.name,
+			Projectors:  len(multiPis),
+			NsPerOp:     mc.r.NsPerOp(),
+			AllocsPerOp: mc.r.AllocsPerOp(),
+			BytesPerOp:  mc.r.AllocedBytesPerOp(),
+			BytesOut:    mc.out,
+		}
+		if mc.r.T > 0 {
+			// One op covers the whole projector set, so throughput is the
+			// document set's bytes over the op — the fused pass reads the
+			// document once, the serial baseline once per projector.
+			c.MBPerSec = float64(int64(mc.r.N)*rep.DocBytes) / mc.r.T.Seconds() / 1e6
+		}
+		rep.Cases = append(rep.Cases, c)
+	}
+	if ns := rMulti.NsPerOp(); ns > 0 {
+		rep.SpeedupMultiX4 = float64(rSerial.NsPerOp()) / float64(ns)
+	}
+
 	find := func(proj, eng string, validate bool) *StreamPruneCase {
 		for i := range rep.Cases {
 			c := &rep.Cases[i]

@@ -62,6 +62,10 @@ type Engine struct {
 	// so batches and repeated prunes of one workload compile π once.
 	proj *projCache
 
+	// multi caches fused multi-projection decision tables (guarded by
+	// proj.mu) so repeated shared-scan requests fuse their set once.
+	multi *multiCache
+
 	m counters
 }
 
@@ -86,6 +90,7 @@ func New(opts Options) *Engine {
 		idx:    make(map[Key]*list.Element),
 		flight: make(map[Key]*flightCall),
 		proj:   newProjCache(),
+		multi:  newMultiCache(),
 	}
 }
 

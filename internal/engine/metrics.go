@@ -20,6 +20,8 @@ type counters struct {
 	bytesOut    atomic.Int64
 	projHits    atomic.Int64
 	projMisses  atomic.Int64
+	multiHits   atomic.Int64
+	multiMisses atomic.Int64
 
 	parallelPrunes    atomic.Int64
 	parallelFallbacks atomic.Int64
@@ -50,6 +52,10 @@ type Metrics struct {
 	// lookups (a miss compiles π against the DTD's symbol table; calls
 	// that piggyback on an in-flight compilation count as hits).
 	ProjectionHits, ProjectionMisses int64
+	// MultiHits / MultiMisses count fused multi-projection cache lookups
+	// (a miss fuses the projector set into one decision table; calls that
+	// piggyback on an in-flight fuse count as hits).
+	MultiHits, MultiMisses int64
 	// ParallelPrunes counts batch jobs that ran on the intra-document
 	// parallel pruner; ParallelFallbacks the subset handed back to the
 	// serial scanner (unindexable input). IndexTime, FragmentTime and
@@ -79,6 +85,8 @@ func (e *Engine) Metrics() Metrics {
 		BytesOut:         e.m.bytesOut.Load(),
 		ProjectionHits:   e.m.projHits.Load(),
 		ProjectionMisses: e.m.projMisses.Load(),
+		MultiHits:        e.m.multiHits.Load(),
+		MultiMisses:      e.m.multiMisses.Load(),
 
 		ParallelPrunes:    e.m.parallelPrunes.Load(),
 		ParallelFallbacks: e.m.parallelFallbacks.Load(),
@@ -106,6 +114,8 @@ func (m Metrics) Map() map[string]any {
 		"bytes_out":               m.BytesOut,
 		"projection_hits":         m.ProjectionHits,
 		"projection_misses":       m.ProjectionMisses,
+		"multi_projection_hits":   m.MultiHits,
+		"multi_projection_misses": m.MultiMisses,
 		"parallel_prunes":         m.ParallelPrunes,
 		"parallel_fallbacks":      m.ParallelFallbacks,
 		"parallel_index_nanos":    int64(m.IndexTime),

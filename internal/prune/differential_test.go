@@ -502,6 +502,42 @@ func FuzzStreamDifferential(f *testing.F) {
 		if (serr == nil) != (derr == nil) {
 			t.Fatalf("engines disagree on acceptance\nscanner: %v\ndecoder: %v", serr, derr)
 		}
+		// The shared-scan multi-pruner must agree per projector with
+		// serial gathers on whatever the fuzzer found — verdicts, bytes
+		// and stats, with and without validation.
+		mpis := []dtd.NameSet{
+			pi,
+			dtd.NewNameSet("bib", "book", "title", "title#text"),
+			dtd.NewNameSet("bib", "book", "book@isbn"),
+		}
+		for _, validate := range []bool{false, true} {
+			sopts := StreamOptions{Validate: validate, Engine: EngineScanner}
+			gathers, mstats, merrs := StreamMultiGather([]byte(src), d, mpis, MultiOptions{Validate: validate})
+			for j, mpi := range mpis {
+				g, gst, gerr := StreamGather([]byte(src), d, mpi, sopts)
+				if (gerr == nil) != (merrs[j] == nil) {
+					t.Fatalf("multi verdict diverges from serial (validate=%v, projector %d)\nserial: %v\nmulti:  %v",
+						validate, j, gerr, merrs[j])
+				}
+				if gerr != nil {
+					continue
+				}
+				if got, want := string(gathers[j].Bytes()), string(g.Bytes()); got != want {
+					t.Fatalf("multi output diverges (validate=%v, projector %d)\nmulti:  %q\nserial: %q",
+						validate, j, got, want)
+				}
+				if mstats[j] != gst {
+					t.Fatalf("multi stats diverge (validate=%v, projector %d)\nmulti:  %+v\nserial: %+v",
+						validate, j, mstats[j], gst)
+				}
+				g.Close()
+			}
+			for _, g := range gathers {
+				if g != nil {
+					g.Close()
+				}
+			}
+		}
 		if serr != nil {
 			var pb strings.Builder
 			if _, perr := Stream(&pb, strings.NewReader(src), d, pi, StreamOptions{

@@ -1,0 +1,196 @@
+package prune
+
+// Shared-scan multi-projection: prune one in-memory document against N
+// projectors in a single scanner pass (scan.PruneMulti), producing one
+// independent span-gather result per projector. The projector set is
+// fused into a dtd.MultiProjection decision table; sets larger than the
+// 64-projector fuse limit are sharded into consecutive fused passes.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+
+	"xmlproj/internal/dtd"
+	"xmlproj/internal/scan"
+)
+
+// MultiOptions configures a shared-scan multi-prune.
+type MultiOptions struct {
+	// Validate checks content models, attribute declarations and the
+	// root element while pruning. Verdicts are per projector: a serial
+	// prune only validates the regions its projector keeps, so one
+	// projector can fail while the others complete.
+	Validate bool
+	// MaxTokenSize is accepted for symmetry with StreamOptions but, as
+	// on every in-memory scanner path, not enforced (see StreamBytes).
+	MaxTokenSize int
+	// Projections, when non-nil, holds the compiled form of each π
+	// (aligned with the pis argument; nil entries are compiled on the
+	// spot), letting batch callers compile once per (DTD, π) pair.
+	Projections []*dtd.Projection
+	// Combined, when non-nil, is the pre-fused decision table for the
+	// whole projector set (engine caches hold these); it must have been
+	// combined from the same projections in the same order. Ignored
+	// when the set exceeds the fuse limit.
+	Combined *dtd.MultiProjection
+	// Ctx, when non-nil, aborts between fused passes when cancelled.
+	Ctx context.Context
+}
+
+// StreamMultiGather prunes in-memory input against every projector in
+// pis with a shared scan, returning one Gather per projector. Each
+// projector's rendered output is byte-identical to a serial
+// StreamGather with that projector alone, and stats match it.
+//
+// The results are per projector: errs[j] non-nil means projector j's
+// serial prune would have failed — gathers[j] is then nil, and the
+// other projectors are unaffected unless the failure was a syntax or
+// well-formedness error (which fails every projector, as it would every
+// serial run). The caller must Close every non-nil Gather; data must
+// stay alive and unmodified until then.
+//
+// Non-UTF-8 input falls back to one decoder-path StreamGather per
+// projector — correct, but without the shared-scan saving.
+func StreamMultiGather(data []byte, d *dtd.DTD, pis []dtd.NameSet, opts MultiOptions) ([]*Gather, []Stats, []error) {
+	n := len(pis)
+	gathers := make([]*Gather, n)
+	stats := make([]Stats, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return gathers, stats, errs
+	}
+	if err := ctxErr(opts.Ctx); err != nil {
+		fillErr(errs, 0, n, err)
+		return gathers, stats, errs
+	}
+	if looksNonUTF8(data) {
+		sopts := StreamOptions{Validate: opts.Validate, Engine: EngineDecoder, MaxTokenSize: opts.MaxTokenSize, Ctx: opts.Ctx}
+		for j, pi := range pis {
+			gathers[j], stats[j], errs[j] = StreamGather(data, d, pi, sopts)
+		}
+		return gathers, stats, errs
+	}
+	projs := make([]*dtd.Projection, n)
+	for j := range pis {
+		if opts.Projections != nil && opts.Projections[j] != nil {
+			projs[j] = opts.Projections[j]
+		} else {
+			projs[j] = d.CompileProjection(pis[j])
+		}
+	}
+	for base := 0; base < n; base += dtd.MaxMultiProjections {
+		end := base + dtd.MaxMultiProjections
+		if end > n {
+			end = n
+		}
+		if err := ctxErr(opts.Ctx); err != nil {
+			fillErr(errs, base, end, err)
+			continue
+		}
+		mp := opts.Combined
+		if mp == nil || mp.N() != n || base != 0 {
+			var err error
+			mp, err = dtd.CombineProjections(projs[base:end])
+			if err != nil {
+				fillErr(errs, base, end, fmt.Errorf("prune: %w", err))
+				continue
+			}
+		}
+		sls := make([]*scan.SpanList, end-base)
+		for i := range sls {
+			g := gatherPool.Get().(*Gather)
+			g.closed = false
+			gathers[base+i] = g
+			sls[i] = g.sl
+		}
+		ssts, serrs := scan.PruneMulti(sls, data, d, mp, scan.Options{Validate: opts.Validate, MaxTokenSize: opts.MaxTokenSize})
+		for i := range sls {
+			j := base + i
+			stats[j].fold(ssts[i])
+			if serrs[i] != nil {
+				errs[j] = fmt.Errorf("prune: %w", serrs[i])
+				gathers[j].Close()
+				gathers[j] = nil
+				stats[j].BytesOut = 0
+				continue
+			}
+			stats[j].BytesOut = gathers[j].sl.Len()
+		}
+	}
+	return gathers, stats, errs
+}
+
+// StreamMulti is StreamMultiGather for streaming destinations: the
+// source is materialised in memory once (an input implementing
+// BytesSource is used in place), pruned against every projector in one
+// shared scan, and each projector's output is flushed to the matching
+// writer with vectored I/O. dsts must align with pis; a nil writer
+// skips the flush (the stats still report the rendered size).
+func StreamMulti(dsts []io.Writer, src io.Reader, d *dtd.DTD, pis []dtd.NameSet, opts MultiOptions) ([]Stats, []error) {
+	if len(dsts) != len(pis) {
+		panic("prune.StreamMulti: len(dsts) != len(pis)")
+	}
+	stats := make([]Stats, len(pis))
+	errs := make([]error, len(pis))
+	if err := ctxErr(opts.Ctx); err != nil {
+		fillErr(errs, 0, len(pis), err)
+		return stats, errs
+	}
+	data, inMem := inputBytesOf(src)
+	if !inMem {
+		buf := inputPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		if size, known := inputSize(src); known && size > 0 && size < int64(int(^uint(0)>>1)) {
+			buf.Grow(int(size))
+		}
+		r := src
+		if opts.Ctx != nil {
+			r = &ctxReader{ctx: opts.Ctx, r: src}
+		}
+		if _, rerr := buf.ReadFrom(r); rerr != nil {
+			inputPool.Put(buf)
+			fillErr(errs, 0, len(pis), fmt.Errorf("prune: %w", rerr))
+			return stats, errs
+		}
+		data = buf.Bytes()
+		defer func() {
+			if buf.Cap() <= maxPooledInput {
+				inputPool.Put(buf)
+			}
+		}()
+	}
+	gathers, gstats, gerrs := StreamMultiGather(data, d, pis, opts)
+	for j, g := range gathers {
+		stats[j], errs[j] = gstats[j], gerrs[j]
+		if g == nil {
+			continue
+		}
+		if dsts[j] != nil {
+			if _, werr := g.WriteTo(dsts[j]); werr != nil && errs[j] == nil {
+				errs[j] = fmt.Errorf("prune: %w", werr)
+			}
+		}
+		g.Close()
+	}
+	return stats, errs
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("prune: %w", err)
+	}
+	return nil
+}
+
+func fillErr(errs []error, base, end int, err error) {
+	for j := base; j < end; j++ {
+		if errs[j] == nil {
+			errs[j] = err
+		}
+	}
+}

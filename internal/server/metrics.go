@@ -73,9 +73,19 @@ type metrics struct {
 	clientGone    atomic.Int64 // client disconnected mid-request
 	gatherPrunes  atomic.Int64 // requests served by the span-gather path
 	inFlight      atomic.Int64 // prunes currently holding an admission slot
-	bytesIn       atomic.Int64
-	bytesOut      atomic.Int64
-	latency       histogram
+
+	// multiRequests counts /multiprune requests; multiFanout totals the
+	// projectors they named (fanout/requests is the mean set size).
+	// multiTableHits / multiTableMisses count whether each request's
+	// fused decision table came from the engine's projector cache.
+	multiRequests    atomic.Int64
+	multiFanout      atomic.Int64
+	multiTableHits   atomic.Int64
+	multiTableMisses atomic.Int64
+
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+	latency  histogram
 }
 
 func (m *metrics) snapshot() map[string]any {
@@ -90,6 +100,10 @@ func (m *metrics) snapshot() map[string]any {
 		"client_gone":          m.clientGone.Load(),
 		"gather_prunes":        m.gatherPrunes.Load(),
 		"in_flight":            m.inFlight.Load(),
+		"multi_requests":       m.multiRequests.Load(),
+		"multi_fanout":         m.multiFanout.Load(),
+		"multi_table_hits":     m.multiTableHits.Load(),
+		"multi_table_misses":   m.multiTableMisses.Load(),
 		"bytes_in":             m.bytesIn.Load(),
 		"bytes_out":            m.bytesOut.Load(),
 		"latency":              m.latency.snapshot(),

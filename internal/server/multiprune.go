@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"mime/multipart"
+	"net/http"
+	"net/textproto"
+	"strconv"
+	"strings"
+	"time"
+
+	"xmlproj"
+)
+
+// handleMultiprune prunes one request body against several projectors in
+// a single shared scan (POST /multiprune). The projector set is named by
+// repeated projection= parameters (precompiled at startup) or by
+// schema= plus repeated proj= query bunches (queries separated by ';'),
+// in request order. The response is multipart/mixed with one part per
+// projector, in the same order: successful parts carry the pruned
+// document plus X-Prune-* stats headers, failed parts are empty and
+// carry X-Prune-Error. Verdicts are per projector — one projector's
+// validation failure does not disturb the others' output.
+func (s *Server) handleMultiprune(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.m.requests.Add(1)
+	s.m.multiRequests.Add(1)
+
+	nps, errStatus, errMsg := s.resolveMulti(r)
+	if nps == nil {
+		s.m.badRequests.Add(1)
+		http.Error(w, errMsg, errStatus)
+		s.logRequest(r, errStatus, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, time.Since(start), errors.New(errMsg))
+		return
+	}
+	s.m.multiFanout.Add(int64(len(nps)))
+
+	if s.maxBody > 0 && r.ContentLength > s.maxBody {
+		s.m.rejectedLarge.Add(1)
+		http.Error(w, fmt.Sprintf("request body %d bytes exceeds limit %d", r.ContentLength, s.maxBody), http.StatusRequestEntityTooLarge)
+		s.logRequest(r, http.StatusRequestEntityTooLarge, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, time.Since(start), errors.New("content-length over limit"))
+		return
+	}
+
+	if !s.admit(r.Context()) {
+		s.m.rejectedBusy.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at concurrency limit", http.StatusTooManyRequests)
+		s.logRequest(r, http.StatusTooManyRequests, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, time.Since(start), errors.New("admission rejected"))
+		return
+	}
+	defer func() { <-s.sem }()
+	s.m.inFlight.Add(1)
+	defer s.m.inFlight.Add(-1)
+
+	ctx := r.Context()
+	var rc *http.ResponseController
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+		rc = http.NewResponseController(w)
+		deadline := time.Now().Add(s.opts.RequestTimeout)
+		_ = rc.SetReadDeadline(deadline)
+		_ = rc.SetWriteDeadline(deadline)
+	}
+
+	// The shared scan tokenizes in place, so the body is buffered whole
+	// (bounded by MaxBodyBytes) — the multi path is the span-gather path.
+	var src = r.Body
+	if s.maxBody > 0 {
+		src = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	body := &meteredBody{r: src, size: r.ContentLength}
+	buf := gatherBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if body.size > 0 {
+		buf.Grow(int(body.size))
+	}
+	_, rerr := buf.ReadFrom(body)
+
+	var results []*xmlproj.PruneResult
+	var errs []error
+	if rerr == nil {
+		ps := make([]*xmlproj.Projector, len(nps))
+		for j, np := range nps {
+			ps[j] = np.p
+		}
+		var hit bool
+		results, errs, hit = s.eng.PruneMultiGather(ps, buf.Bytes(), xmlproj.StreamOptions{
+			Validate:     nps[0].validate,
+			MaxTokenSize: s.opts.MaxTokenSize,
+			Context:      ctx,
+		})
+		if hit {
+			s.m.multiTableHits.Add(1)
+		} else {
+			s.m.multiTableMisses.Add(1)
+		}
+	}
+	elapsed := time.Since(start)
+
+	if rc != nil {
+		_ = rc.SetReadDeadline(time.Time{})
+		_ = rc.SetWriteDeadline(time.Time{})
+	}
+
+	if rerr != nil {
+		status := s.classifyPruneErr(rerr)
+		http.Error(w, rerr.Error(), status)
+		if buf.Cap() <= maxPooledGatherBuf {
+			gatherBufPool.Put(buf)
+		}
+		s.m.bytesIn.Add(body.n)
+		s.m.latency.observe(elapsed)
+		s.logRequest(r, status, body.n, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, elapsed, rerr)
+		return
+	}
+
+	// Per-projector verdicts ride in the parts, so the response itself is
+	// 200 even when some (or all) projectors failed on this document.
+	mw := multipart.NewWriter(w)
+	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
+	var bytesOut int64
+	var firstErr error
+	failed := 0
+	for j, np := range nps {
+		h := make(textproto.MIMEHeader)
+		h.Set("X-Projection", np.label)
+		if errs[j] != nil {
+			h.Set("X-Prune-Error", errs[j].Error())
+			if firstErr == nil {
+				firstErr = errs[j]
+			}
+			failed++
+			mw.CreatePart(h)
+			s.recordMultiPart(0, xmlproj.PruneStats{}, errs[j])
+			continue
+		}
+		res := results[j]
+		h.Set("Content-Type", "application/xml")
+		h.Set("Content-Length", strconv.FormatInt(res.Len(), 10))
+		h.Set("X-Prune-Elements-Out", strconv.FormatInt(res.Stats.ElementsOut, 10))
+		h.Set("X-Prune-Elements-Skipped", strconv.FormatInt(res.Stats.ElementsSkipped, 10))
+		h.Set("X-Prune-Bytes-Out", strconv.FormatInt(res.Stats.BytesOut, 10))
+		pw, perr := mw.CreatePart(h)
+		if perr == nil {
+			_, perr = res.WriteTo(pw)
+		}
+		// The input bytes are credited once, on the first part — the
+		// document was read once, however many projectors shared the scan.
+		in := int64(0)
+		if j == 0 {
+			in = body.n
+		}
+		s.recordMultiPart(in, res.Stats, perr)
+		bytesOut += res.Stats.BytesOut
+		res.Close()
+		if perr != nil {
+			// The client stopped draining mid-part; nothing more can be
+			// delivered.
+			if firstErr == nil {
+				firstErr = perr
+			}
+			break
+		}
+	}
+	mw.Close()
+	// Close released the gather lists referencing buf; it may be reused.
+	if buf.Cap() <= maxPooledGatherBuf {
+		gatherBufPool.Put(buf)
+	}
+
+	s.m.bytesIn.Add(body.n)
+	s.m.bytesOut.Add(bytesOut)
+	s.m.latency.observe(elapsed)
+	if failed == 0 && firstErr == nil {
+		s.m.ok.Add(1)
+	} else if firstErr != nil {
+		s.classifyPruneErr(firstErr)
+	}
+	s.logRequest(r, http.StatusOK, body.n, bytesOut, xmlproj.PruneAuto, xmlproj.ParallelStages{}, elapsed, firstErr)
+}
+
+// recordMultiPart credits one projector's share of a multiprune into the
+// engine counters, with the usual outcome classification.
+func (s *Server) recordMultiPart(bytesIn int64, stats xmlproj.PruneStats, err error) {
+	s.eng.RecordPrune(bytesIn, stats, xmlproj.ParallelStages{}, err)
+}
+
+// multiProjection is one member of a multiprune set: a resolved
+// projector plus the label its response part carries.
+type multiProjection struct {
+	label    string
+	validate bool
+	p        *xmlproj.Projector
+}
+
+// resolveMulti maps the request to an ordered projector list: repeated
+// projection= names, or schema= with repeated proj= query bunches
+// (queries separated by ';'), or both — named projections first, then
+// specs, all against one schema. A nil return carries the HTTP status
+// and message.
+func (s *Server) resolveMulti(r *http.Request) ([]*multiProjection, int, string) {
+	q := r.URL.Query()
+	var out []*multiProjection
+	schema := q.Get("schema")
+	validate := q.Get("validate") == "1" || q.Get("validate") == "true"
+
+	for _, name := range q["projection"] {
+		np, ok := s.projections[name]
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Sprintf("unknown projection %q", name)
+		}
+		if schema == "" {
+			schema = np.schema
+		} else if np.schema != schema {
+			return nil, http.StatusBadRequest, fmt.Sprintf("projection %q is for schema %q, request uses %q — one multiprune shares one scan, so one schema", name, np.schema, schema)
+		}
+		v := np.validate
+		if q.Has("validate") {
+			v = validate
+		}
+		out = append(out, &multiProjection{label: name, validate: v, p: np.p})
+	}
+
+	specs := q["proj"]
+	if len(specs) > 0 && schema == "" {
+		return nil, http.StatusBadRequest, "proj parameters need a schema parameter"
+	}
+	if len(specs) > 0 {
+		d, ok := s.schemas[schema]
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Sprintf("unknown schema %q", schema)
+		}
+		for i, spec := range specs {
+			var queries []string
+			for _, part := range strings.Split(spec, ";") {
+				if part = strings.TrimSpace(part); part != "" {
+					queries = append(queries, part)
+				}
+			}
+			p, err := s.infer(d, queries)
+			if err != nil {
+				return nil, http.StatusBadRequest, fmt.Sprintf("proj %d: %v", i, err)
+			}
+			out = append(out, &multiProjection{label: fmt.Sprintf("proj%d", i), validate: validate, p: p})
+		}
+	}
+
+	switch {
+	case len(out) == 0:
+		return nil, http.StatusBadRequest, "missing projection or proj parameters"
+	case len(out) > xmlproj.MaxFusedProjectors:
+		return nil, http.StatusBadRequest, fmt.Sprintf("%d projections exceed the limit of %d per request", len(out), xmlproj.MaxFusedProjectors)
+	}
+	// One scan, one validation mode: a validating projector would see
+	// kills a non-validating one must not, so the set has to agree.
+	for _, m := range out[1:] {
+		if m.validate != out[0].validate {
+			return nil, http.StatusBadRequest, "projections disagree on validation; pass an explicit validate parameter"
+		}
+	}
+	return out, 0, ""
+}

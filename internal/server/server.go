@@ -204,6 +204,7 @@ func (s *Server) infer(d *xmlproj.DTD, queries []string) (*xmlproj.Projector, er
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /prune", s.handlePrune)
+	mux.HandleFunc("POST /multiprune", s.handleMultiprune)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})

@@ -1,0 +1,110 @@
+package xmlproj
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// multiAPIProjectors infers three projectors of different selectivity
+// from the shared test DTD.
+func multiAPIProjectors(t *testing.T, d *DTD) []*Projector {
+	t.Helper()
+	var ps []*Projector
+	for _, src := range []string{
+		`//book[author = "Dante"]/title`,
+		`//book/year`,
+		`/bib/book/@isbn`,
+	} {
+		q, err := CompileXPath(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := d.Infer(Materialized, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func TestPruneMultiGatherMatchesSerial(t *testing.T) {
+	d, _ := apiSetup(t)
+	ps := multiAPIProjectors(t, d)
+	data := []byte(apiDoc)
+	for _, validate := range []bool{false, true} {
+		opts := StreamOptions{Validate: validate}
+		results, errs := PruneMultiGather(ps, data, opts)
+		for j, p := range ps {
+			serial, serr := p.PruneGather(data, opts)
+			if (serr == nil) != (errs[j] == nil) {
+				t.Fatalf("projector %d: multi verdict %v, serial %v", j, errs[j], serr)
+			}
+			if serr != nil {
+				continue
+			}
+			if got, want := string(results[j].Bytes()), string(serial.Bytes()); got != want {
+				t.Fatalf("projector %d output diverges\nmulti:  %q\nserial: %q", j, got, want)
+			}
+			if results[j].Stats != serial.Stats {
+				t.Fatalf("projector %d stats diverge\nmulti:  %+v\nserial: %+v", j, results[j].Stats, serial.Stats)
+			}
+			serial.Close()
+			results[j].Close()
+		}
+	}
+}
+
+func TestPruneMultiWriters(t *testing.T) {
+	d, _ := apiSetup(t)
+	ps := multiAPIProjectors(t, d)
+	outs := make([]bytes.Buffer, len(ps))
+	dsts := make([]io.Writer, len(ps))
+	for j := range outs {
+		dsts[j] = &outs[j]
+	}
+	stats, errs := PruneMulti(dsts, strings.NewReader(apiDoc), ps, StreamOptions{})
+	for j, p := range ps {
+		if errs[j] != nil {
+			t.Fatalf("projector %d: %v", j, errs[j])
+		}
+		var want bytes.Buffer
+		if _, err := p.PruneStream(&want, strings.NewReader(apiDoc)); err != nil {
+			t.Fatal(err)
+		}
+		if outs[j].String() != want.String() {
+			t.Fatalf("projector %d output diverges\nmulti:  %q\nserial: %q", j, outs[j].String(), want.String())
+		}
+		if stats[j].BytesOut != int64(outs[j].Len()) {
+			t.Fatalf("projector %d BytesOut = %d, wrote %d", j, stats[j].BytesOut, outs[j].Len())
+		}
+	}
+}
+
+func TestPruneMultiRejectsMixedDTDs(t *testing.T) {
+	d, _ := apiSetup(t)
+	other, err := ParseDTDString(apiDTD, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := multiAPIProjectors(t, d)
+	q, err := CompileXPath(`//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := other.Infer(Materialized, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs := PruneMultiGather(append(ps, foreign), []byte(apiDoc), StreamOptions{})
+	for j := range errs {
+		if errs[j] == nil {
+			t.Fatalf("projector %d accepted a mixed-DTD set", j)
+		}
+		if results[j] != nil {
+			t.Fatalf("projector %d returned a result from a rejected set", j)
+		}
+	}
+}

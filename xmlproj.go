@@ -550,6 +550,13 @@ func (p *Projector) PruneBytes(dst io.Writer, data []byte, opts StreamOptions) (
 // over a TCP connection the kept subtrees go to the kernel straight
 // from the input buffer, never copied in user space. The input slice
 // must stay alive and unmodified until Close.
+//
+// Release contract: a PruneResult wraps pooled gather state. The owner
+// must call Close exactly when done with it — on every path, including
+// error paths after a partial WriteTo. A result that is never Closed is
+// not unsafe (the garbage collector reclaims it) but its buffers leave
+// the pool, costing fresh allocations on later prunes. Close is
+// idempotent; every other method is invalid after the first Close.
 type PruneResult struct {
 	// Stats reports what the prune did; BytesOut is the rendered size.
 	Stats PruneStats
@@ -588,6 +595,100 @@ func (p *Projector) PruneGather(data []byte, opts StreamOptions) (*PruneResult, 
 		return nil, err
 	}
 	return &PruneResult{Stats: pruneStatsOf(st), g: g}, nil
+}
+
+// MaxFusedProjectors is how many projectors one shared scan can fuse
+// into a single decision table; PruneMultiGather shards larger sets
+// into consecutive fused passes. Servers bounding request fan-out can
+// use it as a natural limit.
+const MaxFusedProjectors = dtd.MaxMultiProjections
+
+// PruneMultiGather prunes in-memory input against every projector in ps
+// with one shared scan: the projector set is fused into a per-symbol
+// decision table and the scanner walks the document once, so a batch of
+// N queries costs one tokenization instead of N. Every projector's
+// rendered output and stats are identical to a serial PruneGather with
+// that projector alone.
+//
+// Results align with ps. Verdicts are per projector: errs[j] non-nil
+// means projector j's serial prune would have failed (results[j] is
+// then nil); syntax and well-formedness errors fail every projector,
+// exactly as they would fail every serial run. All projectors must
+// stem from the same DTD. The caller must Close every non-nil result
+// (see the PruneResult release contract); data must stay alive and
+// unmodified until then.
+func PruneMultiGather(ps []*Projector, data []byte, opts StreamOptions) ([]*PruneResult, []error) {
+	results := make([]*PruneResult, len(ps))
+	errs := make([]error, len(ps))
+	if len(ps) == 0 {
+		return results, errs
+	}
+	d, pis, err := multiProjectorSet(ps)
+	if err != nil {
+		for j := range errs {
+			errs[j] = err
+		}
+		return results, errs
+	}
+	gathers, stats, gerrs := prune.StreamMultiGather(data, d, pis, multiOptsOf(opts))
+	for j := range ps {
+		if gerrs[j] != nil {
+			errs[j] = gerrs[j]
+			continue
+		}
+		results[j] = &PruneResult{Stats: pruneStatsOf(stats[j]), g: gathers[j]}
+	}
+	return results, errs
+}
+
+// PruneMulti is PruneMultiGather for streaming destinations: src is
+// materialised once, pruned against every projector in one shared scan,
+// and each projector's output is flushed to the matching writer. dsts
+// must align with ps; a nil writer skips the flush (the stats still
+// report the rendered size).
+func PruneMulti(dsts []io.Writer, src io.Reader, ps []*Projector, opts StreamOptions) ([]PruneStats, []error) {
+	if len(dsts) != len(ps) {
+		panic("xmlproj.PruneMulti: len(dsts) != len(ps)")
+	}
+	stats := make([]PruneStats, len(ps))
+	errs := make([]error, len(ps))
+	if len(ps) == 0 {
+		return stats, errs
+	}
+	d, pis, err := multiProjectorSet(ps)
+	if err != nil {
+		for j := range errs {
+			errs[j] = err
+		}
+		return stats, errs
+	}
+	msts, merrs := prune.StreamMulti(dsts, src, d, pis, multiOptsOf(opts))
+	for j := range ps {
+		stats[j], errs[j] = pruneStatsOf(msts[j]), merrs[j]
+	}
+	return stats, errs
+}
+
+// multiProjectorSet checks that every projector stems from one DTD and
+// extracts the name sets for the shared scan.
+func multiProjectorSet(ps []*Projector) (*dtd.DTD, []dtd.NameSet, error) {
+	d := ps[0].d
+	pis := make([]dtd.NameSet, len(ps))
+	for j, p := range ps {
+		if p.d != d {
+			return nil, nil, fmt.Errorf("xmlproj: projector %d was inferred from a different DTD", j)
+		}
+		pis[j] = p.pr.Names
+	}
+	return d, pis, nil
+}
+
+func multiOptsOf(opts StreamOptions) prune.MultiOptions {
+	return prune.MultiOptions{
+		Validate:     opts.Validate,
+		MaxTokenSize: opts.MaxTokenSize,
+		Ctx:          opts.Context,
+	}
 }
 
 // streamOptsOf converts public stream options; the returned finish
