@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"xmlproj/internal/bench"
 )
@@ -143,6 +144,16 @@ func runStreamPrune(factor float64, seed int64, out string, opts bench.StreamPru
 		rep.GatherAllocRatioLow, 100*rep.GatherCopiedFracLow)
 	fmt.Fprintf(stdout, "multi: shared scan over 4 projectors is %.2fx faster than 4 serial gathers\n",
 		rep.SpeedupMultiX4)
+	if rep.SpeedupSkippedSingleCPU {
+		fmt.Fprintln(stdout, "pipelined: single-CPU host; speedups omitted from the report (output parity and memory bound still asserted)")
+	} else {
+		fmt.Fprintf(stdout, "pipelined: %.2fx vs serial scanner on full (unsized input), %.2fx on low\n",
+			rep.SpeedupPipelined, rep.SpeedupPipelinedLow)
+	}
+	fmt.Fprintf(stdout, "pipelined: first output byte after %s (scanner %s, parallel %s); peak window bytes %d of %d (ring %d x window %d)\n",
+		time.Duration(rep.TTFBPipelinedNs), time.Duration(rep.TTFBScannerNs), time.Duration(rep.TTFBParallelNs),
+		rep.PeakWindowBytes, int64(rep.PipelineRingDepth)*int64(rep.PipelineWindowBytes),
+		rep.PipelineRingDepth, rep.PipelineWindowBytes)
 	if rep.NumCPU == 1 {
 		fmt.Fprintln(stdout, "parallel: single-CPU host; speedup not meaningful (output parity still asserted)")
 	}

@@ -62,6 +62,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	keepGoing := fs.Bool("keep-going", false, "with multiple inputs, prune the rest after a document fails")
 	intra := fs.Int("intra", 0, "intra-document parallel pruning workers; 0 auto-selects per document, >0 forces the parallel pruner")
 	chunk := fs.Int("chunk", 0, "stage-1 index chunk size in bytes for intra-document parallelism (0 = auto)")
+	pipeWindow := fs.Int("pipe-window", 0, "pipelined streaming window size in bytes (0 = auto); stdin and pipe inputs on multi-CPU hosts use the pipelined pruner, whose memory is bounded by ring x window")
+	pipeRing := fs.Int("pipe-ring", 0, "pipelined streaming ring depth: window slabs in flight at once (0 = auto)")
 	var queries, ins, projSpecs stringList
 	fs.Var(&queries, "q", "query (XPath or XQuery); repeatable")
 	fs.Var(&ins, "in", "input document or glob pattern; repeatable (default stdin)")
@@ -208,12 +210,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	eng := xmlproj.NewEngine(xmlproj.EngineOptions{Workers: *jobs})
 	start = time.Now()
 	results, agg, batchErr := eng.PruneBatch(context.Background(), p, batch, xmlproj.BatchOptions{
-		Workers:        *jobs,
-		Validate:       *validateFlag,
-		FailFast:       !*keepGoing,
-		Parallel:       *intra > 0,
-		IntraWorkers:   *intra,
-		IntraChunkSize: *chunk,
+		Workers:            *jobs,
+		Validate:           *validateFlag,
+		FailFast:           !*keepGoing,
+		Parallel:           *intra > 0,
+		IntraWorkers:       *intra,
+		IntraChunkSize:     *chunk,
+		PipelineWindowSize: *pipeWindow,
+		PipelineRingDepth:  *pipeRing,
 	})
 	elapsed := time.Since(start)
 	// Release the input mappings now that every prune has run; output
@@ -254,6 +258,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 					r.Parallel.PruneTime.Round(time.Microsecond),
 					r.Parallel.StitchTime.Round(time.Microsecond))
 			}
+			if r.Pipeline.Workers > 0 && !r.Pipeline.Fallback {
+				parNote = fmt.Sprintf("; pipelined %d workers, %d windows, %d fragments, peak %d window bytes (read %s, index %s, prune %s, emit %s)",
+					r.Pipeline.Workers, r.Pipeline.Windows, r.Pipeline.Tasks, r.Pipeline.PeakWindowBytes,
+					r.Pipeline.ReadTime.Round(time.Microsecond),
+					r.Pipeline.IndexTime.Round(time.Microsecond),
+					r.Pipeline.PruneTime.Round(time.Microsecond),
+					r.Pipeline.EmitTime.Round(time.Microsecond))
+			}
 			fmt.Fprintf(stderr,
 				"xmlprune: %spruned in %s; elements %d -> %d; %d -> %d bytes (%.1f MB/s); depth %d%s\n",
 				inferNote, elapsed, st.ElementsIn, st.ElementsOut,
@@ -278,6 +290,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	return batchErr
 }
+
+// maxMultiStdinBytes bounds how much of stdin the -proj shared scan
+// will buffer (it needs the whole document in memory): 1 GiB, matching
+// the serving layer's default body limit. A variable so tests can
+// exercise the rejection without a gigabyte pipe.
+var maxMultiStdinBytes = int64(1 << 30)
 
 // runMulti prunes one document against every -proj projection in a
 // single shared scan: the projector set is fused into one decision
@@ -358,8 +376,16 @@ func runMulti(specs, ins stringList, dtdPath, root, out string, materialize, val
 		} else if data, err = os.ReadFile(inputs[0]); err != nil {
 			return err
 		}
-	} else if data, err = io.ReadAll(stdin); err != nil {
-		return err
+	} else {
+		// Stdin has no size to check up front, and the shared scan must
+		// buffer it whole — bound the read so a runaway pipe cannot take
+		// the process's memory hostage.
+		if data, err = io.ReadAll(io.LimitReader(stdin, maxMultiStdinBytes+1)); err != nil {
+			return err
+		}
+		if int64(len(data)) > maxMultiStdinBytes {
+			return fmt.Errorf("stdin input exceeds %d bytes; the shared multi-projection scan buffers its input whole — write it to a file and pass -in", maxMultiStdinBytes)
+		}
 	}
 	if mapped != nil {
 		defer mapped.Close()

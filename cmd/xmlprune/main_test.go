@@ -304,3 +304,33 @@ func TestRunMultiProjBadSpecs(t *testing.T) {
 		}
 	}
 }
+
+// TestRunMultiProjStdinBounded: the -proj shared scan buffers stdin
+// whole, so the read is capped — an over-limit pipe is rejected with a
+// clear error instead of swallowing unbounded memory.
+func TestRunMultiProjStdinBounded(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "bib.dtd", testDTD)
+
+	prev := maxMultiStdinBytes
+	maxMultiStdinBytes = 64
+	defer func() { maxMultiStdinBytes = prev }()
+
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-dtd", dtdPath, "-proj", "titles=//book/title"},
+		strings.NewReader(testDoc), &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "stdin input exceeds") {
+		t.Fatalf("oversized stdin accepted: %v", err)
+	}
+
+	// At the limit exactly, the prune still runs.
+	maxMultiStdinBytes = int64(len(testDoc))
+	out.Reset()
+	if err := run([]string{"-dtd", dtdPath, "-proj", "titles=//book/title"},
+		strings.NewReader(testDoc), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "<title>Commedia</title>") {
+		t.Fatalf("output wrong: %s", out.String())
+	}
+}

@@ -131,6 +131,9 @@ type BatchResult struct {
 	// Parallel reports how the intra-document parallel pruner ran for
 	// this job; Parallel.Workers == 0 means the job ran serially.
 	Parallel ParallelStages
+	// Pipeline reports how the pipelined streaming pruner ran for this
+	// job; Pipeline.Workers == 0 means the pipelined engine did not run.
+	Pipeline PipelineStages
 	// Err is nil on success; jobs skipped after cancellation carry the
 	// context error.
 	Err error
@@ -146,6 +149,23 @@ type ParallelStages struct {
 	Workers, Tasks int
 	// Fallback reports that the document was handed to the serial pruner
 	// (input the structural index cannot describe).
+	Fallback bool
+}
+
+// PipelineStages is the per-stage breakdown of one pipelined streaming
+// prune: reading source bytes into window slabs, incremental structural
+// indexing, concurrent fragment pruning, and in-order emission.
+type PipelineStages struct {
+	ReadTime, IndexTime, PruneTime, EmitTime time.Duration
+	// Windows is the number of window slabs the document was cut into;
+	// Tasks the number of fragment ranges delegated to workers; Workers
+	// the resolved worker count.
+	Windows, Tasks, Workers int
+	// PeakWindowBytes is the high-water mark of input bytes resident in
+	// window slabs at once — bounded by ring depth × window size.
+	PeakWindowBytes int64
+	// Fallback reports that the stream was handed to the serial pruner
+	// (token cap too small for the windowing invariants).
 	Fallback bool
 }
 
@@ -180,6 +200,13 @@ type BatchOptions struct {
 	// IntraChunkSize overrides the parallel pruner's stage-1 chunk
 	// granularity in bytes (0 = auto).
 	IntraChunkSize int
+	// PipelineWindowSize and PipelineRingDepth bound the pipelined
+	// streaming pruner per job — window slab size in bytes and in-flight
+	// slab count (0 = engine defaults). Auto-selection runs the pipelined
+	// engine for unsized (or large sized) reader sources on multi-CPU
+	// hosts; each such job's peak input residency is their product.
+	PipelineWindowSize int
+	PipelineRingDepth  int
 }
 
 // BatchStats aggregates a batch: summed pruner stats (MaxDepth is the
@@ -200,11 +227,13 @@ func (eng *Engine) PruneBatch(ctx context.Context, p *Projector, jobs []BatchJob
 		ejobs[i] = engine.Job{Name: j.Name, Src: j.Src, Dst: j.Dst}
 	}
 	eopts := engine.BatchOptions{
-		Workers:        opts.Workers,
-		Validate:       opts.Validate,
-		FailFast:       opts.FailFast,
-		IntraWorkers:   opts.IntraWorkers,
-		IntraChunkSize: opts.IntraChunkSize,
+		Workers:            opts.Workers,
+		Validate:           opts.Validate,
+		FailFast:           opts.FailFast,
+		IntraWorkers:       opts.IntraWorkers,
+		IntraChunkSize:     opts.IntraChunkSize,
+		PipelineWindowSize: opts.PipelineWindowSize,
+		PipelineRingDepth:  opts.PipelineRingDepth,
 	}
 	if opts.Parallel {
 		eopts.Engine = prune.EngineParallel
@@ -221,6 +250,17 @@ func (eng *Engine) PruneBatch(ctx context.Context, p *Projector, jobs []BatchJob
 				Workers:    r.Parallel.Workers,
 				Tasks:      r.Parallel.Tasks,
 				Fallback:   r.Parallel.Fallback,
+			},
+			Pipeline: PipelineStages{
+				ReadTime:        r.Pipeline.ReadTime,
+				IndexTime:       r.Pipeline.IndexTime,
+				PruneTime:       r.Pipeline.PruneTime,
+				EmitTime:        r.Pipeline.EmitTime,
+				Windows:         r.Pipeline.Windows,
+				Tasks:           r.Pipeline.Tasks,
+				Workers:         r.Pipeline.Workers,
+				PeakWindowBytes: r.Pipeline.PeakWindowBytes,
+				Fallback:        r.Pipeline.Fallback,
 			},
 			Err: r.Err,
 		}
@@ -300,6 +340,13 @@ type EngineMetrics struct {
 	// parallel pruner's per-stage wall times across those jobs.
 	ParallelPrunes, ParallelFallbacks   int64
 	IndexTime, FragmentTime, StitchTime time.Duration
+	// PipelinedPrunes counts prunes that ran on the pipelined streaming
+	// engine; PipelinedFallbacks the subset handed to the serial scanner.
+	// The stage times accumulate across those prunes; PeakWindowBytes is
+	// the largest window-slab residency any single prune reached.
+	PipelinedPrunes, PipelinedFallbacks                                      int64
+	PipelineReadTime, PipelineIndexTime, PipelinePruneTime, PipelineEmitTime time.Duration
+	PeakWindowBytes                                                          int64
 }
 
 // Metrics returns a snapshot of the engine's counters.
@@ -327,6 +374,14 @@ func (eng *Engine) Metrics() EngineMetrics {
 		IndexTime:         m.IndexTime,
 		FragmentTime:      m.FragmentTime,
 		StitchTime:        m.StitchTime,
+
+		PipelinedPrunes:    m.PipelinedPrunes,
+		PipelinedFallbacks: m.PipelinedFallbacks,
+		PipelineReadTime:   m.PipelineReadTime,
+		PipelineIndexTime:  m.PipelineIndexTime,
+		PipelinePruneTime:  m.PipelinePruneTime,
+		PipelineEmitTime:   m.PipelineEmitTime,
+		PeakWindowBytes:    m.PeakWindowBytes,
 	}
 }
 
@@ -343,7 +398,7 @@ func (eng *Engine) MetricsMap() map[string]any {
 // the engine's counters, with the batch pool's outcome classification:
 // nil errors count as DocsPruned, context cancellations (however
 // wrapped) count in neither bucket, everything else as PruneErrors.
-func (eng *Engine) RecordPrune(bytesIn int64, stats PruneStats, det ParallelStages, err error) {
+func (eng *Engine) RecordPrune(bytesIn int64, stats PruneStats, det ParallelStages, pdet PipelineStages, err error) {
 	eng.e.RecordPrune(bytesIn, stats.BytesOut, prune.ParallelDetail{
 		IndexTime:  det.IndexTime,
 		PruneTime:  det.PruneTime,
@@ -351,6 +406,16 @@ func (eng *Engine) RecordPrune(bytesIn int64, stats PruneStats, det ParallelStag
 		Workers:    det.Workers,
 		Tasks:      det.Tasks,
 		Fallback:   det.Fallback,
+	}, prune.PipelineDetail{
+		ReadTime:        pdet.ReadTime,
+		IndexTime:       pdet.IndexTime,
+		PruneTime:       pdet.PruneTime,
+		EmitTime:        pdet.EmitTime,
+		Windows:         pdet.Windows,
+		Tasks:           pdet.Tasks,
+		Workers:         pdet.Workers,
+		PeakWindowBytes: pdet.PeakWindowBytes,
+		Fallback:        pdet.Fallback,
 	}, err)
 }
 

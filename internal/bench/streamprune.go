@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 	"testing"
+	"time"
 
 	"xmlproj/internal/dtd"
 	"xmlproj/internal/prune"
@@ -94,8 +95,61 @@ type StreamPruneReport struct {
 	// evaluating the same 4 projectors at once: 4.0 would mean the fused
 	// pass is free beyond the first projector, 1.0 that sharing buys
 	// nothing.
-	SpeedupMultiX4 float64           `json:"speedup_multi_x4"`
-	Cases          []StreamPruneCase `json:"cases"`
+	SpeedupMultiX4 float64 `json:"speedup_multi_x4"`
+	// SpeedupPipelined compares the pipelined streaming pruner — fed an
+	// unsized reader, the input shape (chunked upload, pipe) where the
+	// batch parallel pruner cannot run — against the serial scanner on
+	// the full projector; SpeedupPipelinedLow the same on the low
+	// projector. Omitted, with SpeedupSkippedSingleCPU set, when the
+	// host has one CPU and the pipeline has nothing to overlap.
+	SpeedupPipelined    float64 `json:"speedup_pipelined,omitempty"`
+	SpeedupPipelinedLow float64 `json:"speedup_pipelined_low,omitempty"`
+	// SpeedupSkippedSingleCPU annotates that the pipelined speedup
+	// fields were omitted because NumCPU == 1 — consumers gate on this
+	// instead of failing their thresholds. Output parity and the memory
+	// bound are still asserted.
+	SpeedupSkippedSingleCPU bool `json:"speedup_skipped_single_cpu,omitempty"`
+	// TTFB*Ns measure nanoseconds from prune start to the first output
+	// byte reaching the destination (full projector, best of three):
+	// the pipelined engine emits its first window while later ones are
+	// still being read; the batch parallel pruner answers only after
+	// the whole document is buffered and indexed.
+	TTFBScannerNs   int64 `json:"ttfb_scanner_ns"`
+	TTFBParallelNs  int64 `json:"ttfb_parallel_ns"`
+	TTFBPipelinedNs int64 `json:"ttfb_pipelined_ns"`
+	// PipelineWindowBytes and PipelineRingDepth are the knobs every
+	// pipelined case ran with; PeakWindowBytes is the high-water input
+	// residency the full-projector case reached. The run fails before
+	// timing anything if the peak exceeds ring x window.
+	PipelineWindowBytes int               `json:"pipeline_window_bytes"`
+	PipelineRingDepth   int               `json:"pipeline_ring_depth"`
+	PeakWindowBytes     int64             `json:"peak_window_bytes"`
+	Cases               []StreamPruneCase `json:"cases"`
+}
+
+// unsized hides an in-memory reader's size, presenting it as a stream
+// of unknown length — the shape the pipelined engine exists for.
+type unsized struct{ io.Reader }
+
+// The pipelined cases run with explicit window and ring knobs so the
+// report's memory-bound claim (peak ≤ ring × window) is checkable from
+// the JSON alone.
+const (
+	pipeBenchWindow = 1 << 20
+	pipeBenchRing   = 4
+)
+
+// firstByteWriter timestamps the first output byte it sees.
+type firstByteWriter struct {
+	start time.Time
+	ttfb  time.Duration
+}
+
+func (w *firstByteWriter) Write(p []byte) (int, error) {
+	if w.ttfb == 0 && len(p) > 0 {
+		w.ttfb = time.Since(w.start)
+	}
+	return len(p), nil
 }
 
 // StreamPruneProjectors returns the benchmark π shapes over the XMark
@@ -167,10 +221,20 @@ func RunStreamPrune(factor float64, seed int64, opts StreamPruneOptions) (*Strea
 			ParallelChunkSize: opts.ChunkSize,
 		}
 	}
-	// Parity gate: every engine — parallel, gather, gather-parallel —
-	// must reproduce the serial scanner's bytes before anything is timed.
+	mkPipeOpts := func(name string, v bool, det *prune.PipelineDetail) prune.StreamOptions {
+		o := mkOpts(name, prune.EnginePipelined, v)
+		o.PipelineWindowSize = pipeBenchWindow
+		o.PipelineRingDepth = pipeBenchRing
+		o.Pipeline = det
+		return o
+	}
+	rep.PipelineWindowBytes = pipeBenchWindow
+	rep.PipelineRingDepth = pipeBenchRing
+	// Parity gate: every engine — parallel, pipelined, gather,
+	// gather-parallel — must reproduce the serial scanner's bytes before
+	// anything is timed.
 	for _, p := range projectors {
-		var serialOut, parallelOut bytes.Buffer
+		var serialOut, parallelOut, pipeOut bytes.Buffer
 		if _, err := prune.Stream(&serialOut, bytes.NewReader(w.DocBytes), w.D, p.Pi, mkOpts(p.Name, prune.EngineScanner, false)); err != nil {
 			return nil, fmt.Errorf("serial prune (%s): %w", p.Name, err)
 		}
@@ -179,6 +243,16 @@ func RunStreamPrune(factor float64, seed int64, opts StreamPruneOptions) (*Strea
 		}
 		if !bytes.Equal(serialOut.Bytes(), parallelOut.Bytes()) {
 			return nil, fmt.Errorf("parallel pruner output differs from serial scanner on projector %s", p.Name)
+		}
+		var pdet prune.PipelineDetail
+		if _, err := prune.Stream(&pipeOut, unsized{bytes.NewReader(w.DocBytes)}, w.D, p.Pi, mkPipeOpts(p.Name, false, &pdet)); err != nil {
+			return nil, fmt.Errorf("pipelined prune (%s): %w", p.Name, err)
+		}
+		if !bytes.Equal(serialOut.Bytes(), pipeOut.Bytes()) {
+			return nil, fmt.Errorf("pipelined pruner output differs from serial scanner on projector %s", p.Name)
+		}
+		if bound := int64(pipeBenchRing) * int64(pipeBenchWindow); pdet.PeakWindowBytes > bound {
+			return nil, fmt.Errorf("pipelined peak window bytes %d exceed ring bound %d on projector %s", pdet.PeakWindowBytes, bound, p.Name)
 		}
 		for _, eng := range []prune.Engine{prune.EngineScanner, prune.EngineParallel} {
 			g, _, err := prune.StreamGather(w.DocBytes, w.D, p.Pi, mkOpts(p.Name, eng, false))
@@ -200,6 +274,7 @@ func RunStreamPrune(factor float64, seed int64, opts StreamPruneOptions) (*Strea
 		{"scanner", prune.EngineScanner, false},
 		{"decoder", prune.EngineDecoder, false},
 		{"parallel", prune.EngineParallel, false},
+		{"pipelined", prune.EnginePipelined, false},
 		{"gather", prune.EngineScanner, true},
 		{"gather-parallel", prune.EngineParallel, true},
 	}
@@ -226,6 +301,21 @@ func RunStreamPrune(factor float64, seed int64, opts StreamPruneOptions) (*Strea
 							g.Close()
 						}
 					})
+				} else if eng == prune.EnginePipelined {
+					var pdet prune.PipelineDetail
+					r = testing.Benchmark(func(b *testing.B) {
+						b.ReportAllocs()
+						for i := 0; i < b.N; i++ {
+							rd.Reset(w.DocBytes)
+							stats, serr = prune.Stream(io.Discard, unsized{rd}, w.D, pi, mkPipeOpts(name, v, &pdet))
+							if serr != nil {
+								b.Fatal(serr)
+							}
+						}
+					})
+					if name == "full" && !v {
+						rep.PeakWindowBytes = pdet.PeakWindowBytes
+					}
 				} else {
 					r = testing.Benchmark(func(b *testing.B) {
 						b.ReportAllocs()
@@ -376,6 +466,50 @@ func RunStreamPrune(factor float64, seed int64, opts StreamPruneOptions) (*Strea
 	rep.ValidateOverheadMid = ratio(find("mid", "scanner", false), find("mid", "scanner", true))
 	rep.SpeedupParallel = ratio(find("full", "parallel", false), find("full", "scanner", false))
 	rep.SpeedupParallelLow = ratio(find("low", "parallel", false), lowScanner)
+	rep.SpeedupPipelined = ratio(find("full", "pipelined", false), find("full", "scanner", false))
+	rep.SpeedupPipelinedLow = ratio(find("low", "pipelined", false), lowScanner)
+	if rep.NumCPU == 1 {
+		// One CPU: the pipeline has nothing to overlap, so a speedup
+		// threshold is meaningless. Omit the numbers and say why, instead
+		// of shipping a ratio a CI gate would fail on.
+		rep.SpeedupPipelined = 0
+		rep.SpeedupPipelinedLow = 0
+		rep.SpeedupSkippedSingleCPU = true
+	}
+
+	// Time to first output byte on the full projector, best of three per
+	// engine. The bench destination buffers nothing, so the timestamp is
+	// the moment the pruner's own write path first emits.
+	var fullPi dtd.NameSet
+	for _, p := range projectors {
+		if p.Name == "full" {
+			fullPi = p.Pi
+		}
+	}
+	ttfb := func(eng prune.Engine) int64 {
+		best := int64(-1)
+		for i := 0; i < 3; i++ {
+			fw := &firstByteWriter{start: time.Now()}
+			var o prune.StreamOptions
+			var src io.Reader = bytes.NewReader(w.DocBytes)
+			if eng == prune.EnginePipelined {
+				o = mkPipeOpts("full", false, nil)
+				src = unsized{src}
+			} else {
+				o = mkOpts("full", eng, false)
+			}
+			if _, err := prune.Stream(fw, src, w.D, fullPi, o); err != nil {
+				return -1
+			}
+			if d := fw.ttfb.Nanoseconds(); best < 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	rep.TTFBScannerNs = ttfb(prune.EngineScanner)
+	rep.TTFBParallelNs = ttfb(prune.EngineParallel)
+	rep.TTFBPipelinedNs = ttfb(prune.EnginePipelined)
 	if lowGather := find("low", "gather", false); lowGather != nil {
 		if lowScanner != nil {
 			// Steady state the gather path allocates nothing at all;

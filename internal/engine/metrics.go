@@ -28,6 +28,24 @@ type counters struct {
 	indexNanos        atomic.Int64
 	fragmentNanos     atomic.Int64
 	stitchNanos       atomic.Int64
+
+	pipelinedPrunes    atomic.Int64
+	pipelinedFallbacks atomic.Int64
+	pipeReadNanos      atomic.Int64
+	pipeIndexNanos     atomic.Int64
+	pipePruneNanos     atomic.Int64
+	pipeEmitNanos      atomic.Int64
+	peakWindowBytes    atomic.Int64
+}
+
+// maxInt64 raises the gauge to v if v is larger (lock-free max).
+func maxInt64(g *atomic.Int64, v int64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Metrics is a point-in-time snapshot of the engine's counters.
@@ -65,6 +83,17 @@ type Metrics struct {
 	IndexTime                         time.Duration
 	FragmentTime                      time.Duration
 	StitchTime                        time.Duration
+	// PipelinedPrunes counts prunes that ran on the pipelined streaming
+	// engine; PipelinedFallbacks the subset handed to the serial scanner
+	// (token cap too small for the windowing invariants). The stage times
+	// are cumulative wall times across those prunes, and PeakWindowBytes
+	// is the largest window-slab residency any single prune reached.
+	PipelinedPrunes, PipelinedFallbacks int64
+	PipelineReadTime                    time.Duration
+	PipelineIndexTime                   time.Duration
+	PipelinePruneTime                   time.Duration
+	PipelineEmitTime                    time.Duration
+	PeakWindowBytes                     int64
 }
 
 // Metrics returns a snapshot. Individual counters are each read
@@ -93,6 +122,14 @@ func (e *Engine) Metrics() Metrics {
 		IndexTime:         time.Duration(e.m.indexNanos.Load()),
 		FragmentTime:      time.Duration(e.m.fragmentNanos.Load()),
 		StitchTime:        time.Duration(e.m.stitchNanos.Load()),
+
+		PipelinedPrunes:    e.m.pipelinedPrunes.Load(),
+		PipelinedFallbacks: e.m.pipelinedFallbacks.Load(),
+		PipelineReadTime:   time.Duration(e.m.pipeReadNanos.Load()),
+		PipelineIndexTime:  time.Duration(e.m.pipeIndexNanos.Load()),
+		PipelinePruneTime:  time.Duration(e.m.pipePruneNanos.Load()),
+		PipelineEmitTime:   time.Duration(e.m.pipeEmitNanos.Load()),
+		PeakWindowBytes:    e.m.peakWindowBytes.Load(),
 	}
 }
 
@@ -121,5 +158,13 @@ func (m Metrics) Map() map[string]any {
 		"parallel_index_nanos":    int64(m.IndexTime),
 		"parallel_fragment_nanos": int64(m.FragmentTime),
 		"parallel_stitch_nanos":   int64(m.StitchTime),
+
+		"pipelined_prunes":            m.PipelinedPrunes,
+		"pipelined_fallbacks":         m.PipelinedFallbacks,
+		"pipelined_read_nanos":        int64(m.PipelineReadTime),
+		"pipelined_index_nanos":       int64(m.PipelineIndexTime),
+		"pipelined_prune_nanos":       int64(m.PipelinePruneTime),
+		"pipelined_emit_nanos":        int64(m.PipelineEmitTime),
+		"pipelined_peak_window_bytes": m.PeakWindowBytes,
 	}
 }

@@ -40,6 +40,11 @@ type JobResult struct {
 	// Parallel holds the per-stage timings of an intra-document parallel
 	// prune; Parallel.Workers == 0 means the job ran serially.
 	Parallel prune.ParallelDetail
+	// Pipeline holds the per-stage timings of a pipelined streaming
+	// prune; Pipeline.Workers == 0 means the pipelined engine did not
+	// run. Auto-selection picks it for unsized (or large sized) reader
+	// sources on multi-CPU hosts.
+	Pipeline prune.PipelineDetail
 	// Err is nil on success. Jobs skipped after cancellation (fail-fast
 	// or a cancelled context) carry the context error.
 	Err error
@@ -77,6 +82,12 @@ type BatchOptions struct {
 	// IntraChunkSize overrides the parallel pruner's stage-1 chunk
 	// granularity in bytes (0 = auto).
 	IntraChunkSize int
+	// PipelineWindowSize and PipelineRingDepth bound the pipelined
+	// streaming pruner's window slabs and in-flight slab count per job
+	// (0 = engine defaults); peak per-job input residency is their
+	// product.
+	PipelineWindowSize int
+	PipelineRingDepth  int
 }
 
 // BatchStats aggregates a batch.
@@ -196,12 +207,15 @@ func (e *Engine) runJob(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, proj *d
 		src := &countingReader{r: job.Src, ctx: ctx}
 		start := time.Now()
 		res.Stats, res.Err = prune.Stream(job.Dst, src, d, pi, prune.StreamOptions{
-			Validate:          opts.Validate,
-			Projection:        proj,
-			Engine:            opts.Engine,
-			ParallelWorkers:   opts.IntraWorkers,
-			ParallelChunkSize: opts.IntraChunkSize,
-			Detail:            &res.Parallel,
+			Validate:           opts.Validate,
+			Projection:         proj,
+			Engine:             opts.Engine,
+			ParallelWorkers:    opts.IntraWorkers,
+			ParallelChunkSize:  opts.IntraChunkSize,
+			PipelineWindowSize: opts.PipelineWindowSize,
+			PipelineRingDepth:  opts.PipelineRingDepth,
+			Detail:             &res.Parallel,
+			Pipeline:           &res.Pipeline,
 		})
 		res.Elapsed = time.Since(start)
 		res.BytesIn = src.n
@@ -218,7 +232,7 @@ func (e *Engine) runJob(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, proj *d
 	if cerr := closeDst(job.Dst); cerr != nil && res.Err == nil {
 		res.Err = cerr
 	}
-	e.RecordPrune(res.BytesIn, res.Stats.BytesOut, res.Parallel, res.Err)
+	e.RecordPrune(res.BytesIn, res.Stats.BytesOut, res.Parallel, res.Pipeline, res.Err)
 	return res
 }
 
@@ -229,7 +243,7 @@ func (e *Engine) runJob(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, proj *d
 // matches the batch pool's: nil is a pruned document, a (possibly
 // wrapped) context error is a skip counted in neither bucket, anything
 // else is a prune error.
-func (e *Engine) RecordPrune(bytesIn, bytesOut int64, det prune.ParallelDetail, err error) {
+func (e *Engine) RecordPrune(bytesIn, bytesOut int64, det prune.ParallelDetail, pdet prune.PipelineDetail, err error) {
 	e.m.bytesIn.Add(bytesIn)
 	e.m.bytesOut.Add(bytesOut)
 	if det.Workers > 0 {
@@ -240,6 +254,17 @@ func (e *Engine) RecordPrune(bytesIn, bytesOut int64, det prune.ParallelDetail, 
 		e.m.indexNanos.Add(det.IndexTime.Nanoseconds())
 		e.m.fragmentNanos.Add(det.PruneTime.Nanoseconds())
 		e.m.stitchNanos.Add(det.StitchTime.Nanoseconds())
+	}
+	if pdet.Workers > 0 {
+		e.m.pipelinedPrunes.Add(1)
+		if pdet.Fallback {
+			e.m.pipelinedFallbacks.Add(1)
+		}
+		e.m.pipeReadNanos.Add(pdet.ReadTime.Nanoseconds())
+		e.m.pipeIndexNanos.Add(pdet.IndexTime.Nanoseconds())
+		e.m.pipePruneNanos.Add(pdet.PruneTime.Nanoseconds())
+		e.m.pipeEmitNanos.Add(pdet.EmitTime.Nanoseconds())
+		maxInt64(&e.m.peakWindowBytes, pdet.PeakWindowBytes)
 	}
 	switch {
 	case err == nil:

@@ -215,58 +215,23 @@ func scanChunk(data []byte, from, to int, out []Entry, lookup func([]byte) (int3
 // data[off]. It is context-free: the result depends only on bytes from
 // off forward. ok is false when the construct cannot be classified
 // (unterminated, '<' inside the tag or a quoted value, malformed name
-// start handled permissively — see below).
+// start handled permissively — see below). The batch index does not
+// care why classification failed; the streaming indexer does, so the
+// guts live in classifyStream (stream.go) and this wrapper collapses
+// its tri-state result.
 func classifyAt(data []byte, off int, lookup func([]byte) (int32, bool)) (Entry, bool) {
-	e := Entry{Off: off, Sym: -1}
-	rest := data[off+1:]
-	if len(rest) == 0 {
-		return e, false
-	}
-	switch rest[0] {
-	case '/':
-		return classifyEndTag(data, off, lookup)
-	case '?':
-		// PI: ends at the first "?>".
-		k := bytes.Index(rest[1:], []byte("?>"))
-		if k < 0 {
-			return e, false
-		}
-		e.Kind = PI
-		e.End = off + 2 + k + 2
-		return e, true
-	case '!':
-		if bytes.HasPrefix(rest, []byte("!--")) {
-			k := bytes.Index(rest[3:], []byte("-->"))
-			if k < 0 {
-				return e, false
-			}
-			e.Kind = Comment
-			e.End = off + 4 + k + 3
-			return e, true
-		}
-		if bytes.HasPrefix(rest, []byte("![CDATA[")) {
-			k := bytes.Index(rest[8:], []byte("]]>"))
-			if k < 0 {
-				return e, false
-			}
-			e.Kind = CDATA
-			e.End = off + 9 + k + 3
-			return e, true
-		}
-		return classifyDirective(data, off)
-	default:
-		return classifyStartTag(data, off, lookup)
-	}
+	e, st := classifyStream(data, off, lookup)
+	return e, st == streamOK
 }
 
 // classifyEndTag scans "</name ... >". Malformed interiors still get an
 // extent (the first '>'): the fragment that re-tokenizes the region
 // reports the precise serial error.
-func classifyEndTag(data []byte, off int, lookup func([]byte) (int32, bool)) (Entry, bool) {
+func classifyEndTag(data []byte, off int, lookup func([]byte) (int32, bool)) (Entry, streamStatus) {
 	e := Entry{Off: off, Sym: -1, Kind: End}
 	k := bytes.IndexByte(data[off:], '>')
 	if k < 0 {
-		return e, false
+		return e, streamNeedMore
 	}
 	e.End = off + k + 1
 	if lookup != nil {
@@ -277,14 +242,16 @@ func classifyEndTag(data []byte, off int, lookup func([]byte) (int32, bool)) (En
 			}
 		}
 	}
-	return e, true
+	return e, streamOK
 }
 
 // classifyStartTag scans "<name attr='...' ...>" respecting quotes ('>'
 // is legal inside a quoted attribute value). A '<' inside the tag —
-// quoted or not — is unclassifiable: the serial scanner errors there,
-// and the conservative answer keeps verdicts identical via fallback.
-func classifyStartTag(data []byte, off int, lookup func([]byte) (int32, bool)) (Entry, bool) {
+// quoted or not — is malformed: the serial scanner is guaranteed to
+// error at that byte with no later input needed, which is what lets the
+// streaming indexer distinguish it from a tag merely cut short by a
+// window boundary (streamNeedMore).
+func classifyStartTag(data []byte, off int, lookup func([]byte) (int32, bool)) (Entry, streamStatus) {
 	e := Entry{Off: off, Sym: -1, Kind: Start}
 	i := off + 1
 	for i < len(data) {
@@ -302,29 +269,29 @@ func classifyStartTag(data []byte, off int, lookup func([]byte) (int32, bool)) (
 					}
 				}
 			}
-			return e, true
+			return e, streamOK
 		case '"', '\'':
 			k := bytes.IndexByte(data[i+1:], c)
 			if k < 0 {
-				return e, false
+				return e, streamNeedMore
 			}
 			if bytes.IndexByte(data[i+1:i+1+k], '<') >= 0 {
-				return e, false
+				return e, streamMalformed
 			}
 			i += k + 2
 		case '<':
-			return e, false
+			return e, streamMalformed
 		default:
 			i++
 		}
 	}
-	return e, false
+	return e, streamNeedMore
 }
 
 // classifyDirective scans a "<!DOCTYPE ...>"-style directive with the
 // serial scanner's rules: quoted angle brackets ignored, nested <...>
 // groups tracked by depth, comments inside skipped.
-func classifyDirective(data []byte, off int) (Entry, bool) {
+func classifyDirective(data []byte, off int) (Entry, streamStatus) {
 	e := Entry{Off: off, Sym: -1, Kind: Directive}
 	inquote := byte(0)
 	depth := 0
@@ -334,7 +301,7 @@ func classifyDirective(data []byte, off int) (Entry, bool) {
 		i++
 		if inquote == 0 && b == '>' && depth == 0 {
 			e.End = i
-			return e, true
+			return e, streamOK
 		}
 		switch {
 		case b == inquote:
@@ -348,7 +315,7 @@ func classifyDirective(data []byte, off int) (Entry, bool) {
 			if bytes.HasPrefix(data[i:], []byte("!--")) {
 				k := bytes.Index(data[i+3:], []byte("-->"))
 				if k < 0 {
-					return e, false
+					return e, streamNeedMore
 				}
 				i += 3 + k + 3
 			} else {
@@ -356,7 +323,7 @@ func classifyDirective(data []byte, off int) (Entry, bool) {
 			}
 		}
 	}
-	return e, false
+	return e, streamNeedMore
 }
 
 // nameAt returns the leading XML-name byte run of b (the tag name).

@@ -52,6 +52,26 @@ func benchStream(b *testing.B, eng Engine, pi dtd.NameSet, validate bool) {
 	}
 }
 
+// benchStreamUnsized measures the pipelined engine the way it is met in
+// practice: an io.Reader whose total size is unknown (a socket or pipe),
+// so inputSize cannot pre-buffer and the windowed pipeline carries the
+// prune. The bytes.Reader is hidden behind a plain io.Reader wrapper to
+// defeat the size probe.
+func benchStreamUnsized(b *testing.B, eng Engine, pi dtd.NameSet, validate bool) {
+	d, src := benchDoc(b)
+	opts := StreamOptions{Engine: eng, Validate: validate, Projection: d.CompileProjection(pi)}
+	rd := bytes.NewReader(src)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(src)
+		if _, err := Stream(io.Discard, struct{ io.Reader }{rd}, d, pi, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchGather measures the span-gather path: same prune, but output
 // recorded as spans over the input instead of copied to a writer.
 // Steady state it allocates nothing (pooled gather, reused span list).
@@ -79,9 +99,11 @@ func benchGather(b *testing.B, eng Engine, pi dtd.NameSet, validate bool) {
 // raw-copy and skip-scan fast paths).
 //
 // The parallel cases measure the two-stage intra-document pruner; the
-// auto cases measure EngineAuto's selection overhead — on a single-CPU
-// host auto resolves to the serial scanner and must stay within ~5% of
-// it (the cost of one size probe).
+// pipelined cases measure the windowed read→index→prune→emit pipeline
+// over an unsized reader (its realistic input shape); the auto cases
+// measure EngineAuto's selection overhead — on a single-CPU host auto
+// resolves to the serial scanner and must stay within ~5% of it (the
+// cost of one size probe).
 func BenchmarkStreamPrune(b *testing.B) {
 	d := xmark.DTD()
 	for name, pi := range benchProjectors(d) {
@@ -92,6 +114,8 @@ func BenchmarkStreamPrune(b *testing.B) {
 		b.Run("decoder-validate/"+name, func(b *testing.B) { benchStream(b, EngineDecoder, pi, true) })
 		b.Run("parallel/"+name, func(b *testing.B) { benchStream(b, EngineParallel, pi, false) })
 		b.Run("parallel-validate/"+name, func(b *testing.B) { benchStream(b, EngineParallel, pi, true) })
+		b.Run("pipelined/"+name, func(b *testing.B) { benchStreamUnsized(b, EnginePipelined, pi, false) })
+		b.Run("pipelined-validate/"+name, func(b *testing.B) { benchStreamUnsized(b, EnginePipelined, pi, true) })
 		b.Run("auto/"+name, func(b *testing.B) { benchStream(b, EngineAuto, pi, false) })
 		b.Run("gather/"+name, func(b *testing.B) { benchGather(b, EngineScanner, pi, false) })
 		b.Run("gather-validate/"+name, func(b *testing.B) { benchGather(b, EngineScanner, pi, true) })

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"errors"
+	"io"
 	"math/rand"
 	"runtime"
 	"strings"
@@ -43,6 +44,16 @@ var parallelVariants = []StreamOptions{
 	{Engine: EngineParallel, ParallelWorkers: 1},
 	{Engine: EngineParallel, ParallelWorkers: 4, ParallelChunkSize: 3},
 	{Engine: EngineParallel, ParallelWorkers: 3, ParallelFragTarget: 64},
+}
+
+// pipelinedVariants are the EnginePipelined configurations every
+// differential corpus additionally runs under: windows far smaller than
+// the documents (so constructs straddle window boundaries), a minimal
+// ring, a tiny fragment target forcing splices, and the defaults.
+var pipelinedVariants = []StreamOptions{
+	{Engine: EnginePipelined, ParallelWorkers: 1, PipelineWindowSize: 300},
+	{Engine: EnginePipelined, ParallelWorkers: 4, PipelineWindowSize: 300, PipelineRingDepth: 2, ParallelFragTarget: 24},
+	{Engine: EnginePipelined, ParallelWorkers: 3, ParallelFragTarget: 64},
 }
 
 // checkGather runs the span-gather path under opts and requires the
@@ -104,6 +115,26 @@ func runBoth(t *testing.T, src string, d *dtd.DTD, pi dtd.NameSet, validate bool
 		}
 		if pst != sst {
 			t.Fatalf("parallel engine disagrees on stats (validate=%v, workers=%d)\nscanner:  %+v\nparallel: %+v\ninput: %q",
+				validate, popts.ParallelWorkers, sst, pst, src)
+		}
+	}
+	for _, popts := range pipelinedVariants {
+		popts.Validate = validate
+		var pb strings.Builder
+		pst, perr := Stream(&pb, strings.NewReader(src), d, pi, popts)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("pipelined engine disagrees on acceptance (validate=%v, workers=%d)\nscanner:   %v\npipelined: %v\ninput: %q",
+				validate, popts.ParallelWorkers, serr, perr, src)
+		}
+		if serr != nil {
+			continue
+		}
+		if pb.String() != sb.String() {
+			t.Fatalf("pipelined engine disagrees on output (validate=%v, workers=%d)\nscanner:   %q\npipelined: %q\ninput: %q",
+				validate, popts.ParallelWorkers, sb.String(), pb.String(), src)
+		}
+		if pst != sst {
+			t.Fatalf("pipelined engine disagrees on stats (validate=%v, workers=%d)\nscanner:   %+v\npipelined: %+v\ninput: %q",
 				validate, popts.ParallelWorkers, sst, pst, src)
 		}
 	}
@@ -229,7 +260,7 @@ func TestScannerMalformed(t *testing.T) {
 		`<notdeclared/>`,                           // undeclared element
 	}
 	for _, src := range cases {
-		for _, eng := range []Engine{EngineScanner, EngineDecoder, EngineParallel} {
+		for _, eng := range []Engine{EngineScanner, EngineDecoder, EngineParallel, EnginePipelined} {
 			var sb strings.Builder
 			_, err := Stream(&sb, strings.NewReader(src), d, pi, StreamOptions{Engine: eng})
 			if err == nil {
@@ -379,35 +410,47 @@ func TestParallelEngineMaxTokenSize(t *testing.T) {
 	}
 }
 
-// TestStreamAutoSelectsParallel: EngineAuto upgrades to the parallel
-// pruner only for large inputs of known size on multi-CPU hosts, and the
-// upgraded run matches the serial scanner byte for byte.
-func TestStreamAutoSelectsParallel(t *testing.T) {
+// TestStreamAutoSelectsPipelined: on multi-CPU hosts EngineAuto
+// upgrades reader input to the pipelined pruner — both known sizes past
+// the threshold (reading overlaps pruning) and unknown sizes (nothing
+// needs buffering) — and the upgraded runs match the serial scanner
+// byte for byte. Small known sizes and single-CPU hosts stay serial.
+func TestStreamAutoSelectsPipelined(t *testing.T) {
 	d := mustDTD(t)
 	pi := dtd.NewNameSet("bib", "book", "title", "title#text", "book@isbn")
 	entry := `<book isbn="1"><title>T` + strings.Repeat("x", 200) +
 		`</title><author>A</author></book>`
 	var b strings.Builder
 	b.WriteString(`<bib>`)
-	for b.Len() < parallelMinBytes {
+	for b.Len() < pipelineMinBytes {
 		b.WriteString(entry)
 	}
 	b.WriteString(`</bib>`)
 	big := b.String()
 
-	var det ParallelDetail
-	var pb strings.Builder
-	pst, err := Stream(&pb, strings.NewReader(big), d, pi, StreamOptions{Detail: &det})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if multi := runtime.GOMAXPROCS(0) > 1; multi != (det.Workers > 0) {
-		t.Fatalf("auto-selection: GOMAXPROCS>1=%v but parallel-ran=%v", multi, det.Workers > 0)
+	want := EngineScanner
+	if runtime.GOMAXPROCS(0) > 1 {
+		want = EnginePipelined
 	}
 	var sb strings.Builder
 	sst, err := Stream(&sb, strings.NewReader(big), d, pi, StreamOptions{Engine: EngineScanner})
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	// Known size past the threshold.
+	var chosen Engine
+	var pdet PipelineDetail
+	var pb strings.Builder
+	pst, err := Stream(&pb, strings.NewReader(big), d, pi, StreamOptions{Chosen: &chosen, Pipeline: &pdet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen != want {
+		t.Fatalf("auto-selection on a sized reader chose engine %d, want %d", chosen, want)
+	}
+	if want == EnginePipelined && pdet.Windows == 0 {
+		t.Fatal("pipelined run reported no windows")
 	}
 	if pb.String() != sb.String() {
 		t.Fatal("auto-selected engine output diverges from the serial scanner")
@@ -416,26 +459,124 @@ func TestStreamAutoSelectsParallel(t *testing.T) {
 		t.Fatalf("auto-selected engine stats diverge\nscanner: %+v\nauto:    %+v", sst, pst)
 	}
 
-	// A small input of known size stays on the serial scanner.
-	det = ParallelDetail{}
-	var small strings.Builder
-	if _, err := Stream(&small, strings.NewReader(bibDoc), d, pi, StreamOptions{Detail: &det}); err != nil {
-		t.Fatal(err)
-	}
-	if det.Workers != 0 {
-		t.Fatal("auto-selection used the parallel pruner on a small input")
-	}
-	// An input of unknown size stays on the serial scanner too.
-	det = ParallelDetail{}
+	// Unknown size: the pipelined pruner is exactly the engine that does
+	// not need to know it.
+	chosen = EngineAuto
 	var unsized strings.Builder
-	if _, err := Stream(&unsized, bufio.NewReader(strings.NewReader(big)), d, pi, StreamOptions{Detail: &det}); err != nil {
+	ust, err := Stream(&unsized, bufio.NewReader(strings.NewReader(big)), d, pi, StreamOptions{Chosen: &chosen})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if det.Workers != 0 {
-		t.Fatal("auto-selection used the parallel pruner on an unsized reader")
+	if chosen != want {
+		t.Fatalf("auto-selection on an unsized reader chose engine %d, want %d", chosen, want)
 	}
 	if unsized.String() != sb.String() {
 		t.Fatal("unsized-reader output diverges")
+	}
+	if ust != sst {
+		t.Fatalf("unsized-reader stats diverge\nscanner: %+v\nauto:    %+v", sst, ust)
+	}
+
+	// A small input of known size stays on the serial scanner.
+	chosen = EngineAuto
+	var small strings.Builder
+	if _, err := Stream(&small, strings.NewReader(bibDoc), d, pi, StreamOptions{Chosen: &chosen}); err != nil {
+		t.Fatal(err)
+	}
+	if chosen != EngineScanner {
+		t.Fatalf("auto-selection on a small input chose engine %d, want scanner", chosen)
+	}
+	// In-memory input of any size prefers the batch parallel pruner —
+	// it is already resident, so the pipeline's memory bound buys
+	// nothing.
+	chosen = EngineAuto
+	var inmem strings.Builder
+	if _, err := StreamBytes(&inmem, []byte(big), d, pi, StreamOptions{Chosen: &chosen}); err != nil {
+		t.Fatal(err)
+	}
+	wantMem := EngineScanner
+	if runtime.GOMAXPROCS(0) > 1 && len(big) >= parallelMinBytes {
+		wantMem = EngineParallel
+	}
+	if chosen != wantMem {
+		t.Fatalf("auto-selection on in-memory input chose engine %d, want %d", chosen, wantMem)
+	}
+	if inmem.String() != sb.String() {
+		t.Fatal("in-memory output diverges")
+	}
+}
+
+// shortStutterReader returns short reads and interleaves (0, nil)
+// results, hiding the input's size; io.Reader permits both.
+type shortStutterReader struct {
+	r io.Reader
+	n int
+}
+
+func (s *shortStutterReader) Read(p []byte) (int, error) {
+	s.n++
+	if s.n%3 == 0 {
+		return 0, nil
+	}
+	if len(p) > 7 {
+		p = p[:7]
+	}
+	return s.r.Read(p)
+}
+
+// oneByteAtATime yields a single byte per Read.
+type oneByteAtATime struct{ r io.Reader }
+
+func (o oneByteAtATime) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+// TestStreamTortureReaders: adversarial readers — one byte per read,
+// short reads with (0, nil) stutters, no size information — must not
+// change any engine's output, stats or verdict. The pipelined engine
+// runs with windows small enough that every read boundary lands inside
+// some construct.
+func TestStreamTortureReaders(t *testing.T) {
+	d := mustDTD(t)
+	pi := dtd.NewNameSet("bib", "book", "title", "title#text", "author", "author#text", "book@isbn")
+	for _, doc := range fixedBibDocs {
+		for _, validate := range []bool{false, true} {
+			var sb strings.Builder
+			sst, serr := Stream(&sb, strings.NewReader(doc), d, pi, StreamOptions{Validate: validate, Engine: EngineScanner})
+			engines := []StreamOptions{
+				{Engine: EngineScanner},
+				{Engine: EnginePipelined, ParallelWorkers: 2, PipelineWindowSize: 300, PipelineRingDepth: 2, ParallelFragTarget: 16},
+			}
+			readers := map[string]func() io.Reader{
+				"onebyte": func() io.Reader { return oneByteAtATime{strings.NewReader(doc)} },
+				"stutter": func() io.Reader { return &shortStutterReader{r: strings.NewReader(doc)} },
+			}
+			for _, opts := range engines {
+				opts.Validate = validate
+				for rname, mk := range readers {
+					var tb strings.Builder
+					tst, terr := Stream(&tb, mk(), d, pi, opts)
+					if (serr == nil) != (terr == nil) {
+						t.Fatalf("engine %d under %s reader disagrees on acceptance (validate=%v)\nplain:   %v\ntorture: %v\ninput: %q",
+							opts.Engine, rname, validate, serr, terr, doc)
+					}
+					if serr != nil {
+						continue
+					}
+					if tb.String() != sb.String() {
+						t.Fatalf("engine %d under %s reader diverges (validate=%v)\nplain:   %q\ntorture: %q",
+							opts.Engine, rname, validate, sb.String(), tb.String())
+					}
+					if tst != sst {
+						t.Fatalf("engine %d under %s reader stats diverge (validate=%v)\nplain:   %+v\ntorture: %+v",
+							opts.Engine, rname, validate, sst, tst)
+					}
+				}
+			}
+		}
 	}
 }
 
@@ -538,12 +679,22 @@ func FuzzStreamDifferential(f *testing.F) {
 				}
 			}
 		}
+		// The fuzzed chunk doubles as the pipelined window size (clamped
+		// up to the engine's floor internally), so window boundaries land
+		// wherever the fuzzer steers them.
+		fuzzWin := 256 + int(chunk)
 		if serr != nil {
 			var pb strings.Builder
 			if _, perr := Stream(&pb, strings.NewReader(src), d, pi, StreamOptions{
 				Engine: EngineParallel, ParallelWorkers: 4, ParallelChunkSize: int(chunk), ParallelFragTarget: 1,
 			}); perr == nil {
 				t.Fatalf("parallel engine accepted input the scanner rejects (chunk=%d): %q", chunk, src)
+			}
+			var plb strings.Builder
+			if _, perr := Stream(&plb, strings.NewReader(src), d, pi, StreamOptions{
+				Engine: EnginePipelined, ParallelWorkers: 4, PipelineWindowSize: fuzzWin, PipelineRingDepth: 2, ParallelFragTarget: 1,
+			}); perr == nil {
+				t.Fatalf("pipelined engine accepted input the scanner rejects (win=%d): %q", fuzzWin, src)
 			}
 			if g, _, gerr := StreamGather([]byte(src), d, pi, StreamOptions{Engine: EngineScanner}); gerr == nil {
 				g.Close()
@@ -593,8 +744,29 @@ func FuzzStreamDifferential(f *testing.F) {
 			checkGather(t, "serial", src, d, pi,
 				StreamOptions{Validate: validate, Engine: EngineScanner}, wantErr == nil, wantOut, wantStats)
 			checkGather(t, "parallel", src, d, pi, popts, wantErr == nil, wantOut, wantStats)
+			var plb strings.Builder
+			plst, plerr := Stream(&plb, strings.NewReader(src), d, pi, StreamOptions{
+				Validate:           validate,
+				Engine:             EnginePipelined,
+				ParallelWorkers:    4,
+				PipelineWindowSize: fuzzWin,
+				PipelineRingDepth:  2,
+				ParallelFragTarget: 1,
+			})
+			if (wantErr == nil) != (plerr == nil) {
+				t.Fatalf("pipelined engine disagrees on acceptance (validate=%v, win=%d)\nscanner:   %v\npipelined: %v",
+					validate, fuzzWin, wantErr, plerr)
+			}
 			if wantErr != nil {
 				continue
+			}
+			if plb.String() != wantOut {
+				t.Fatalf("pipelined engine disagrees on output (validate=%v, win=%d)\nscanner:   %q\npipelined: %q",
+					validate, fuzzWin, wantOut, plb.String())
+			}
+			if plst != wantStats {
+				t.Fatalf("pipelined engine disagrees on stats (validate=%v, win=%d)\nscanner:   %+v\npipelined: %+v",
+					validate, fuzzWin, wantStats, plst)
 			}
 			if pb.String() != wantOut {
 				t.Fatalf("parallel engine disagrees on output (validate=%v, chunk=%d)\nscanner:  %q\nparallel: %q",

@@ -130,6 +130,15 @@ const (
 	// EngineAuto selects it for large inputs of known size when more
 	// than one CPU is available.
 	EngineParallel
+	// EnginePipelined forces the pipelined streaming parallel pruner:
+	// reading, incremental structural indexing, concurrent fragment
+	// pruning and in-order emission overlap in a bounded ring of window
+	// buffers, so memory stays at ring × window bytes however large the
+	// document — with byte-identical output and identical verdicts to
+	// EngineScanner. EngineAuto selects it for UTF-8 readers — unknown
+	// size, or known size past a threshold — when more than one CPU is
+	// available.
+	EnginePipelined
 )
 
 // ParallelDetail reports how an EngineParallel prune executed.
@@ -146,9 +155,31 @@ type ParallelDetail struct {
 	Fallback bool
 }
 
+// PipelineDetail reports how an EnginePipelined prune executed.
+type PipelineDetail struct {
+	// ReadTime, IndexTime, PruneTime and EmitTime are the per-stage
+	// times: source reads, incremental index+plan, summed concurrent
+	// fragment work, and the spine's in-order splice-and-emit pass.
+	ReadTime, IndexTime, PruneTime, EmitTime time.Duration
+	// Windows is the number of windows streamed; Tasks the number of
+	// delegated content ranges; Workers the resolved worker count.
+	Windows, Tasks, Workers int
+	// PeakWindowBytes is the peak window bytes simultaneously resident —
+	// bounded by PipelineRingDepth × PipelineWindowSize.
+	PeakWindowBytes int64
+	// Fallback reports that the input was handed to the serial scanner
+	// (a token cap too small for the parallel invariants).
+	Fallback bool
+}
+
 // parallelMinBytes is the input size below which EngineAuto does not
 // bother with the parallel pruner.
 const parallelMinBytes = 4 << 20
+
+// pipelineMinBytes is the known input size below which EngineAuto does
+// not bother with the pipelined pruner (unknown-size readers always
+// qualify — the point is not having to buffer them).
+const pipelineMinBytes = 1 << 20
 
 // StreamOptions configures a streaming prune.
 type StreamOptions struct {
@@ -175,9 +206,19 @@ type StreamOptions struct {
 	ParallelWorkers    int
 	ParallelChunkSize  int
 	ParallelFragTarget int
+	// PipelineWindowSize and PipelineRingDepth configure EnginePipelined:
+	// the window buffer size and the number of windows in flight. Peak
+	// input-side memory is their product. Zero means the engine defaults
+	// (1 MiB windows, workers+2 ring). ParallelWorkers and
+	// ParallelFragTarget apply to the pipelined engine too.
+	PipelineWindowSize int
+	PipelineRingDepth  int
 	// Detail, when non-nil, receives per-stage execution details of an
 	// EngineParallel prune.
 	Detail *ParallelDetail
+	// Pipeline, when non-nil, receives per-stage execution details of an
+	// EnginePipelined prune.
+	Pipeline *PipelineDetail
 	// Ctx, when non-nil, aborts the prune when the context is cancelled:
 	// the source is checked before every read and Stream returns the
 	// context error (wrapped), recognisable with errors.Is. Long prunes
@@ -257,11 +298,19 @@ func StreamBytes(dst io.Writer, data []byte, d *dtd.DTD, pi dtd.NameSet, opts St
 	}
 	var sst scan.Stats
 	var err error
-	if eng == EngineParallel {
+	switch eng {
+	case EngineParallel:
 		var det scan.ParallelDetail
 		sst, det, err = scan.PruneParallel(bw, data, d, proj, parallelOptsOf(opts))
 		setDetail(opts, det)
-	} else {
+	case EnginePipelined:
+		// Forced pipelined over in-memory input: stream it. (EngineAuto
+		// prefers EngineParallel here — the input is already resident,
+		// so the pipeline's memory bound buys nothing.)
+		var det scan.PipelineDetail
+		sst, det, err = scan.PrunePipelined(bw, bytes.NewReader(data), d, proj, pipelineOptsOf(opts))
+		setPipeDetail(opts, det)
+	default:
 		sst, err = scan.PruneBytes(bw, data, d, proj, scanOptsOf(opts))
 	}
 	stats.fold(sst)
@@ -343,6 +392,12 @@ func StreamGather(data []byte, d *dtd.DTD, pi dtd.NameSet, opts StreamOptions) (
 	g := gatherPool.Get().(*Gather)
 	g.closed = false
 	eng := resolveBytesEngine(data, opts)
+	if eng == EnginePipelined {
+		// Gather output spans the whole resident input; the pipeline's
+		// windowed streaming buys nothing here. Run the batch parallel
+		// pruner, which produces the same bytes.
+		eng = EngineParallel
+	}
 	if eng == EngineDecoder {
 		g.sl.Reset(data)
 		ropts := opts
@@ -413,6 +468,32 @@ func parallelOptsOf(opts StreamOptions) scan.ParallelOptions {
 	}
 }
 
+func pipelineOptsOf(opts StreamOptions) scan.PipelineOptions {
+	return scan.PipelineOptions{
+		Options:    scanOptsOf(opts),
+		Workers:    opts.ParallelWorkers,
+		WindowSize: opts.PipelineWindowSize,
+		RingDepth:  opts.PipelineRingDepth,
+		FragTarget: opts.ParallelFragTarget,
+	}
+}
+
+func setPipeDetail(opts StreamOptions, det scan.PipelineDetail) {
+	if opts.Pipeline != nil {
+		*opts.Pipeline = PipelineDetail{
+			ReadTime:        time.Duration(det.ReadNanos),
+			IndexTime:       time.Duration(det.IndexNanos),
+			PruneTime:       time.Duration(det.PruneNanos),
+			EmitTime:        time.Duration(det.EmitNanos),
+			Windows:         det.Windows,
+			Tasks:           det.Tasks,
+			Workers:         det.Workers,
+			PeakWindowBytes: det.PeakWindowBytes,
+			Fallback:        det.Fallback,
+		}
+	}
+}
+
 func setDetail(opts StreamOptions, det scan.ParallelDetail) {
 	if opts.Detail != nil {
 		*opts.Detail = ParallelDetail{
@@ -448,17 +529,38 @@ func streamReader(dst io.Writer, src io.Reader, d *dtd.DTD, pi dtd.NameSet, opts
 		switch {
 		case looksNonUTF8(hdr[:n]):
 			eng = EngineDecoder
-		case sizeKnown && size >= parallelMinBytes && runtime.GOMAXPROCS(0) > 1 && opts.ParallelWorkers != 1:
+		case runtime.GOMAXPROCS(0) > 1 && opts.ParallelWorkers != 1 &&
+			(!sizeKnown || size >= pipelineMinBytes):
 			// A worker budget of exactly 1 (a batch or server already
-			// saturating the CPUs) makes buffering the whole input for
-			// the parallel pruner pure overhead; stay serial.
-			eng = EngineParallel
+			// saturating the CPUs) makes the overlap machinery pure
+			// overhead; stay serial. Otherwise the pipelined pruner
+			// covers both cases the parallel pruner could not: unknown
+			// sizes (no need to buffer the whole input to split it) and
+			// known sizes (reading overlaps pruning instead of
+			// completing before it).
+			eng = EnginePipelined
 		default:
 			eng = EngineScanner
 		}
 	}
 	if opts.Chosen != nil {
 		*opts.Chosen = eng
+	}
+	if eng == EnginePipelined {
+		proj := opts.Projection
+		if proj == nil {
+			proj = d.CompileProjection(pi)
+		}
+		sst, det, err := scan.PrunePipelined(bw, src, d, proj, pipelineOptsOf(opts))
+		setPipeDetail(opts, det)
+		stats.fold(sst)
+		if err != nil {
+			return stats, fmt.Errorf("prune: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return stats, fmt.Errorf("prune: %w", err)
+		}
+		return stats, nil
 	}
 	if eng == EngineParallel {
 		proj := opts.Projection

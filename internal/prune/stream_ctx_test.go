@@ -67,9 +67,9 @@ func TestStreamContextCancelledMidway(t *testing.T) {
 }
 
 // TestStreamChosenEngine: Stream reports which engine it resolved, and
-// auto-selection refuses the parallel pruner when the caller's worker
-// budget is exactly 1 — buffering the whole document to prune it with
-// one worker is pure overhead.
+// auto-selection refuses the concurrent pruners when the caller's
+// worker budget is exactly 1 — the overlap machinery with one worker is
+// pure overhead.
 func TestStreamChosenEngine(t *testing.T) {
 	d, _ := setup(t)
 	pi := dtd.NewNameSet("bib", "book", "title", dtd.TextName("title"))
@@ -77,11 +77,11 @@ func TestStreamChosenEngine(t *testing.T) {
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)
 
-	// A document comfortably over the parallel threshold, of known size.
+	// A document comfortably over the pipeline threshold, of known size.
 	var sb strings.Builder
 	sb.WriteString("<bib>")
 	row := `<book isbn="1"><title>T</title><author>A</author></book>`
-	for sb.Len() < parallelMinBytes+1024 {
+	for sb.Len() < pipelineMinBytes+1024 {
 		sb.WriteString(row)
 	}
 	sb.WriteString("</bib>")
@@ -92,9 +92,9 @@ func TestStreamChosenEngine(t *testing.T) {
 		workers int
 		want    Engine
 	}{
-		{"budget-free picks parallel", 0, EngineParallel},
+		{"budget-free picks pipelined", 0, EnginePipelined},
 		{"budget of one stays serial", 1, EngineScanner},
-		{"budget of two picks parallel", 2, EngineParallel},
+		{"budget of two picks pipelined", 2, EnginePipelined},
 	}
 	for _, c := range cases {
 		var chosen Engine

@@ -27,6 +27,13 @@ type fragTask struct {
 	ctxSym  int32
 	ctxBase int
 
+	// ready, when non-nil, is closed by the worker once res is
+	// populated; the spine blocks on it before splicing. The batch
+	// parallel pruner leaves it nil — there the worker pool is joined
+	// before the spine starts. The pipelined pruner overlaps the two
+	// and needs the per-task handshake.
+	ready chan struct{}
+
 	res fragResult
 }
 
@@ -63,6 +70,9 @@ func (sp *spliceSet) at(pos int) bool {
 func (pr *pruner) applySplice() error {
 	t := pr.sp.tasks[pr.sp.i]
 	pr.sp.i++
+	if t.ready != nil {
+		<-t.ready
+	}
 	if err := pr.flushText(); err != nil {
 		return err
 	}
@@ -103,6 +113,9 @@ func (pr *pruner) applySplice() error {
 func (pr *pruner) applySkipSplice() error {
 	t := pr.sp.tasks[pr.sp.i]
 	pr.sp.i++
+	if t.ready != nil {
+		<-t.ready
+	}
 	pr.foldStats(&t.res.st)
 	if t.res.err != nil {
 		return t.res.err

@@ -108,6 +108,7 @@ func (pr *pruner) prep(d *dtd.DTD, proj *dtd.Projection, opts Options) {
 	pr.win, pr.winDepth, pr.openInWin, pr.openRel = false, 0, false, 0
 	pr.skipBuf = pr.skipBuf[:0]
 	pr.skipOffs = pr.skipOffs[:0]
+	pr.skipPending = false
 	pr.mode, pr.ctxBase = modeNormal, 0
 	pr.events = pr.events[:0]
 	pr.sp = nil
@@ -201,18 +202,33 @@ type pruner struct {
 	// sp is set); modeFragment prunes one content range of a kept context
 	// element, recording child-level symbols in events instead of walking
 	// the context element's content-model DFA (the spine replays them at
-	// the splice point, in document order). ctxBase is the seeded stack
+	// the splice point, in document order); modePipe is the spine of a
+	// pipelined prune over one non-final window — end of input means
+	// "window exhausted, more to come", so run returns nil with all
+	// cross-window state (stack, DFA states, pending text run, open '>')
+	// left in place for the next window. ctxBase is the seeded stack
 	// depth a fragment starts and must end at.
 	mode    uint8
 	ctxBase int
 	events  []int32
 	sp      *spliceSet
+
+	// skipPending carries skipScan's pending-text-run flag across a
+	// modePipe window pause (errPause), so a logical run straddling
+	// windows inside a skipped subtree still counts once.
+	skipPending bool
 }
 
 const (
 	modeNormal uint8 = iota
 	modeFragment
+	modePipe
 )
+
+// errPause is skipScan's internal signal that a modePipe window ended
+// mid-subtree: not an error — the pipelined spine resumes the skip scan
+// at the start of the next window (pr.skipOffs is non-empty).
+var errPause = fmt.Errorf("scan: window pause")
 
 // eventText marks a logical text run in a fragment's event stream; other
 // values are child element symbols.
@@ -312,6 +328,13 @@ func (pr *pruner) run() error {
 		if !pr.win {
 			s.clearMark()
 		}
+	}
+	if pr.mode == modePipe {
+		// End of a non-final pipelined window. The indexer guarantees the
+		// window ends exactly after a complete construct, so the loop
+		// paused at a token boundary; everything else (pending text run,
+		// open '>', element stack) continues into the next window.
+		return nil
 	}
 	if pr.mode == modeFragment {
 		// The cut rule guarantees the byte after this range is an element

@@ -96,22 +96,23 @@ func (pr *pruner) skipAttrs() (empty bool, err error) {
 	}
 }
 
-// skipScan consumes the content and end tag of the discarded element
-// whose name sits on top of the skip name stack, counting skipped
-// elements and logical text runs. Depth-only scanning with full
-// well-formedness checks; memory stays constant.
+// skipScan consumes the content and end tags of the discarded elements
+// whose names sit on the skip name stack, counting skipped elements and
+// logical text runs. Depth-only scanning with full well-formedness
+// checks; memory stays constant. Depth is the name stack itself
+// (len(pr.skipOffs)), so a modePipe window boundary can pause the scan
+// (errPause) and the pipelined spine can resume it on the next window
+// with nothing but the pruner's own state.
 func (pr *pruner) skipScan() error {
 	s := pr.s
-	depth := 1
-	pending := false
 	flush := func() {
-		if pending {
+		if pr.skipPending {
 			pr.st.TextIn++
 			pr.st.TextSkipped++
-			pending = false
+			pr.skipPending = false
 		}
 	}
-	for depth > 0 {
+	for len(pr.skipOffs) > 0 {
 		if pr.sp != nil && pr.sp.at(s.pos) {
 			// A delegated range inside this skipped subtree. The range
 			// starts at an element tag, where this loop would flush.
@@ -123,6 +124,11 @@ func (pr *pruner) skipScan() error {
 		}
 		b, ok := s.getc()
 		if !ok {
+			if pr.mode == modePipe && s.atEOF() {
+				// Non-final window exhausted at a construct boundary;
+				// the next window resumes here.
+				return errPause
+			}
 			return s.readErr()
 		}
 		if b != '<' {
@@ -134,7 +140,7 @@ func (pr *pruner) skipScan() error {
 				return err
 			}
 			if !info.ws {
-				pending = true
+				pr.skipPending = true
 			}
 			continue
 		}
@@ -184,7 +190,6 @@ func (pr *pruner) skipScan() error {
 			}
 			s.clearMark()
 			pr.popSkipName()
-			depth--
 		case '?':
 			if err := s.skipPI(); err != nil {
 				return err
@@ -217,7 +222,7 @@ func (pr *pruner) skipScan() error {
 					return err
 				}
 				if !info.ws {
-					pending = true
+					pr.skipPending = true
 				}
 			default:
 				if err := s.skipDirective(); err != nil {
@@ -257,8 +262,6 @@ func (pr *pruner) skipScan() error {
 			}
 			if empty {
 				pr.popSkipName()
-			} else {
-				depth++
 			}
 		}
 	}

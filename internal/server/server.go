@@ -6,10 +6,15 @@
 // A request POSTs a document to /prune naming a schema and a query
 // bunch (or a projection precompiled at startup); the body streams
 // through the one-pass pruner and the pruned document streams back.
-// The serial path never buffers the whole document; large bodies of
-// known size may use the intra-document parallel pruner, whose worker
-// budget is divided by the admission-control width so a saturated
-// server never oversubscribes its CPUs.
+// Bodies route by size: a declared Content-Length up to MaxGatherBytes
+// is buffered once and served on the span-gather path with a real
+// Content-Length; larger or chunked (unsized) bodies stream — on
+// multi-CPU hosts through the pipelined streaming engine, which
+// overlaps reading, indexing and pruning under bounded window memory
+// and flushes pruned windows to the client as they complete. The
+// streaming path never buffers the whole document, and every engine's
+// worker budget is divided by the admission-control width so a
+// saturated server never oversubscribes its CPUs.
 //
 // Admission control, body-size and token-size limits, and per-request
 // deadlines make the service safe to expose to untrusted inputs;
@@ -288,14 +293,14 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 	if np == nil {
 		s.m.badRequests.Add(1)
 		http.Error(w, errMsg, errStatus)
-		s.logRequest(r, errStatus, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, time.Since(start), errors.New(errMsg))
+		s.logRequest(r, errStatus, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), errors.New(errMsg))
 		return
 	}
 
 	if s.maxBody > 0 && r.ContentLength > s.maxBody {
 		s.m.rejectedLarge.Add(1)
 		http.Error(w, fmt.Sprintf("request body %d bytes exceeds limit %d", r.ContentLength, s.maxBody), http.StatusRequestEntityTooLarge)
-		s.logRequest(r, http.StatusRequestEntityTooLarge, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, time.Since(start), errors.New("content-length over limit"))
+		s.logRequest(r, http.StatusRequestEntityTooLarge, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), errors.New("content-length over limit"))
 		return
 	}
 
@@ -303,7 +308,7 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 		s.m.rejectedBusy.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "server at concurrency limit", http.StatusTooManyRequests)
-		s.logRequest(r, http.StatusTooManyRequests, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, time.Since(start), errors.New("admission rejected"))
+		s.logRequest(r, http.StatusTooManyRequests, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), errors.New("admission rejected"))
 		return
 	}
 	defer func() { <-s.sem }()
@@ -344,14 +349,25 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Trailer", errorTrailer)
 
 	cw := &countingResponseWriter{rw: w}
+	// Stream the pruned bytes out as they are produced: the pipelined
+	// engine (auto-selected here for chunked and over-gather bodies on
+	// multi-CPU hosts) emits windows long before the document ends, so
+	// flushing after each pruner write gives the client a first byte
+	// while later windows are still being read and pruned.
+	var dst io.Writer = cw
+	if f, ok := w.(http.Flusher); ok {
+		dst = &flushWriter{w: cw, f: f}
+	}
 	var det xmlproj.ParallelStages
+	var pdet xmlproj.PipelineStages
 	chosen := xmlproj.PruneAuto
-	stats, err := np.p.PruneStreamOpts(cw, body, xmlproj.StreamOptions{
+	stats, err := np.p.PruneStreamOpts(dst, body, xmlproj.StreamOptions{
 		Validate:     np.validate,
 		MaxTokenSize: s.opts.MaxTokenSize,
 		IntraWorkers: s.intraWorkers,
 		Context:      ctx,
 		Detail:       &det,
+		Pipeline:     &pdet,
 		Chosen:       &chosen,
 	})
 	elapsed := time.Since(start)
@@ -374,7 +390,7 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), status)
 		}
 	}
-	s.finish(r, status, body, stats, chosen, det, elapsed, err)
+	s.finish(r, status, body, stats, chosen, det, pdet, elapsed, err)
 }
 
 // gatherBufPool recycles the request-body buffers of the span-gather
@@ -444,7 +460,7 @@ func (s *Server) pruneGathered(w http.ResponseWriter, r *http.Request, np *named
 	if buf.Cap() <= maxPooledGatherBuf {
 		gatherBufPool.Put(buf)
 	}
-	s.finish(r, status, body, stats, chosen, det, elapsed, err)
+	s.finish(r, status, body, stats, chosen, det, xmlproj.PipelineStages{}, elapsed, err)
 }
 
 // classifyPruneErr maps a failed prune (or body read) to its HTTP
@@ -468,15 +484,19 @@ func (s *Server) classifyPruneErr(err error) int {
 }
 
 // finish records the request's metrics and log line.
-func (s *Server) finish(r *http.Request, status int, body *meteredBody, stats xmlproj.PruneStats, chosen xmlproj.PruneEngine, det xmlproj.ParallelStages, elapsed time.Duration, err error) {
+func (s *Server) finish(r *http.Request, status int, body *meteredBody, stats xmlproj.PruneStats, chosen xmlproj.PruneEngine, det xmlproj.ParallelStages, pdet xmlproj.PipelineStages, elapsed time.Duration, err error) {
 	s.m.bytesIn.Add(body.n)
 	s.m.bytesOut.Add(stats.BytesOut)
 	s.m.latency.observe(elapsed)
-	s.eng.RecordPrune(body.n, stats, det, err)
+	if pdet.Workers > 0 {
+		s.m.pipelinedPrunes.Add(1)
+		raise(&s.m.peakWindowBytes, pdet.PeakWindowBytes)
+	}
+	s.eng.RecordPrune(body.n, stats, det, pdet, err)
 	if err == nil {
 		s.m.ok.Add(1)
 	}
-	s.logRequest(r, status, body.n, stats.BytesOut, chosen, det, elapsed, err)
+	s.logRequest(r, status, body.n, stats.BytesOut, chosen, det, pdet, elapsed, err)
 }
 
 // resolve maps the request to a projector: either a precompiled named
@@ -541,7 +561,7 @@ func (s *Server) admit(ctx context.Context) bool {
 }
 
 // logRequest emits the per-request structured record.
-func (s *Server) logRequest(r *http.Request, status int, bytesIn, bytesOut int64, eng xmlproj.PruneEngine, det xmlproj.ParallelStages, elapsed time.Duration, err error) {
+func (s *Server) logRequest(r *http.Request, status int, bytesIn, bytesOut int64, eng xmlproj.PruneEngine, det xmlproj.ParallelStages, pdet xmlproj.PipelineStages, elapsed time.Duration, err error) {
 	attrs := []any{
 		"method", r.Method,
 		"path", r.URL.Path,
@@ -561,6 +581,15 @@ func (s *Server) logRequest(r *http.Request, status int, bytesIn, bytesOut int64
 			"prune_time", det.PruneTime,
 			"stitch_time", det.StitchTime,
 			"intra_fallback", det.Fallback,
+		)
+	}
+	if pdet.Workers > 0 {
+		attrs = append(attrs,
+			"pipeline_workers", pdet.Workers,
+			"pipeline_windows", pdet.Windows,
+			"pipeline_tasks", pdet.Tasks,
+			"peak_window_bytes", pdet.PeakWindowBytes,
+			"pipeline_fallback", pdet.Fallback,
 		)
 	}
 	if err != nil {
@@ -600,6 +629,26 @@ func (b *meteredBody) InputSize() (int64, bool) {
 		return 0, false
 	}
 	return b.size - b.n, true
+}
+
+// flushWriter pushes each pruner write through to the client: the
+// streaming path's output arrives in window-sized bursts long before
+// the document ends (the pipelined engine emits windows as they are
+// pruned), and flushing per write turns that into a real
+// time-to-first-byte win instead of buffering until net/http feels
+// like it. The pruner writes through a bufio layer, so writes here are
+// already batched — the flush cost is per window, not per token.
+type flushWriter struct {
+	w io.Writer
+	f http.Flusher
+}
+
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if n > 0 {
+		fw.f.Flush()
+	}
+	return n, err
 }
 
 // countingResponseWriter counts body bytes and records whether the

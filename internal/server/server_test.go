@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -579,5 +580,64 @@ func TestGatherPath(t *testing.T) {
 	}
 	if n := s2.m.gatherPrunes.Load(); n != 0 {
 		t.Errorf("gather_prunes = %d with path disabled", n)
+	}
+}
+
+// TestPipelinedPath: a chunked (unsized) body on a multi-CPU host is
+// served by the pipelined streaming engine — output still byte-identical
+// to the serial pruner, and the pipelined counters move: the server's
+// pipelined_prunes and peak_window_bytes, and the engine's pipelined
+// stage metrics.
+func TestPipelinedPath(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	// MaxConcurrent 1 gives each request the full GOMAXPROCS worker
+	// budget (the pipelined engine refuses to run with a budget of 1).
+	s := newTestServer(t, Options{MaxConcurrent: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var doc strings.Builder
+	doc.WriteString("<bib>")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&doc, "<book><title>T%d</title><author>A%d</author></book>", i, i)
+	}
+	doc.WriteString("</bib>")
+
+	d, err := xmlproj.ParseDTDString(bibDTD, "bib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := xmlproj.Compile("//book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Infer(xmlproj.Materialized, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := p.PruneStreamOpts(&want, strings.NewReader(doc.String()), xmlproj.StreamOptions{Engine: xmlproj.PruneScanner}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrapping the reader hides its size from net/http: the request goes
+	// out chunked and the server sees ContentLength -1.
+	resp, got := postPrune(t, ts, "/prune?projection=titles", struct{ io.Reader }{strings.NewReader(doc.String())})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got[:min(len(got), 200)])
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("pipelined HTTP output differs from serial prune (%d vs %d bytes)", len(got), want.Len())
+	}
+	if n := s.m.pipelinedPrunes.Load(); n != 1 {
+		t.Errorf("pipelined_prunes = %d, want 1", n)
+	}
+	if n := s.m.peakWindowBytes.Load(); n <= 0 {
+		t.Errorf("peak_window_bytes = %d, want > 0", n)
+	}
+	if n := s.eng.Metrics().PipelinedPrunes; n != 1 {
+		t.Errorf("engine PipelinedPrunes = %d, want 1", n)
 	}
 }

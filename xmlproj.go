@@ -470,16 +470,19 @@ func (p *Projector) pruneStream(dst io.Writer, src io.Reader, validate bool) (Pr
 }
 
 // PruneEngine names the tokenizer behind a streaming prune. The zero
-// value auto-selects: the byte-level scanner for UTF-8 input, the
-// two-stage parallel pruner for large inputs of known size on
-// multi-CPU hosts, encoding/xml otherwise.
+// value auto-selects: the pipelined streaming parallel pruner for
+// UTF-8 reader input on multi-CPU hosts (unknown sizes, or known sizes
+// past a threshold), the two-stage batch parallel pruner for large
+// in-memory input, the byte-level serial scanner otherwise for UTF-8,
+// and encoding/xml for everything else.
 type PruneEngine int
 
 const (
-	PruneAuto     PruneEngine = PruneEngine(prune.EngineAuto)
-	PruneScanner  PruneEngine = PruneEngine(prune.EngineScanner)
-	PruneDecoder  PruneEngine = PruneEngine(prune.EngineDecoder)
-	PruneParallel PruneEngine = PruneEngine(prune.EngineParallel)
+	PruneAuto      PruneEngine = PruneEngine(prune.EngineAuto)
+	PruneScanner   PruneEngine = PruneEngine(prune.EngineScanner)
+	PruneDecoder   PruneEngine = PruneEngine(prune.EngineDecoder)
+	PruneParallel  PruneEngine = PruneEngine(prune.EngineParallel)
+	PrunePipelined PruneEngine = PruneEngine(prune.EnginePipelined)
 )
 
 // String returns the engine's name as logged by servers and tools.
@@ -491,6 +494,8 @@ func (e PruneEngine) String() string {
 		return "decoder"
 	case PruneParallel:
 		return "parallel"
+	case PrunePipelined:
+		return "pipelined"
 	default:
 		return "auto"
 	}
@@ -517,6 +522,17 @@ type StreamOptions struct {
 	// Detail, when non-nil, receives the per-stage timings of a parallel
 	// prune (Workers == 0 means the prune ran serially).
 	Detail *ParallelStages
+	// Pipeline, when non-nil, receives the per-stage timings and peak
+	// window residency of a pipelined prune (Windows == 0 means the
+	// pipelined engine did not run).
+	Pipeline *PipelineStages
+	// PipelineWindowSize bounds each pipelined window slab in bytes
+	// (0 means the engine default, 1 MiB). Peak input residency is
+	// bounded by PipelineRingDepth × PipelineWindowSize.
+	PipelineWindowSize int
+	// PipelineRingDepth bounds how many window slabs can be in flight at
+	// once across the read → index → prune stages (0 means workers+2).
+	PipelineRingDepth int
 	// Chosen, when non-nil, receives the engine that actually ran.
 	Chosen *PruneEngine
 }
@@ -695,15 +711,21 @@ func multiOptsOf(opts StreamOptions) prune.MultiOptions {
 // writes Detail/Chosen back after the prune ran.
 func streamOptsOf(opts StreamOptions) (prune.StreamOptions, func()) {
 	popts := prune.StreamOptions{
-		Validate:        opts.Validate,
-		Engine:          prune.Engine(opts.Engine),
-		MaxTokenSize:    opts.MaxTokenSize,
-		ParallelWorkers: opts.IntraWorkers,
-		Ctx:             opts.Context,
+		Validate:           opts.Validate,
+		Engine:             prune.Engine(opts.Engine),
+		MaxTokenSize:       opts.MaxTokenSize,
+		ParallelWorkers:    opts.IntraWorkers,
+		PipelineWindowSize: opts.PipelineWindowSize,
+		PipelineRingDepth:  opts.PipelineRingDepth,
+		Ctx:                opts.Context,
 	}
 	var det prune.ParallelDetail
 	if opts.Detail != nil {
 		popts.Detail = &det
+	}
+	var pdet prune.PipelineDetail
+	if opts.Pipeline != nil {
+		popts.Pipeline = &pdet
 	}
 	var chosen prune.Engine
 	if opts.Chosen != nil {
@@ -718,6 +740,19 @@ func streamOptsOf(opts StreamOptions) (prune.StreamOptions, func()) {
 				Workers:    det.Workers,
 				Tasks:      det.Tasks,
 				Fallback:   det.Fallback,
+			}
+		}
+		if opts.Pipeline != nil {
+			*opts.Pipeline = PipelineStages{
+				ReadTime:        pdet.ReadTime,
+				IndexTime:       pdet.IndexTime,
+				PruneTime:       pdet.PruneTime,
+				EmitTime:        pdet.EmitTime,
+				Windows:         pdet.Windows,
+				Tasks:           pdet.Tasks,
+				Workers:         pdet.Workers,
+				PeakWindowBytes: pdet.PeakWindowBytes,
+				Fallback:        pdet.Fallback,
 			}
 		}
 		if opts.Chosen != nil {
