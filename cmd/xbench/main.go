@@ -144,6 +144,8 @@ func runStreamPrune(factor float64, seed int64, out string, opts bench.StreamPru
 		rep.GatherAllocRatioLow, 100*rep.GatherCopiedFracLow)
 	fmt.Fprintf(stdout, "multi: shared scan over 4 projectors is %.2fx faster than 4 serial gathers\n",
 		rep.SpeedupMultiX4)
+	fmt.Fprintf(stdout, "cached: warm result-cache hit is %.1fx cheaper than a fresh scanner prune on low (hit %s, digest %s)\n",
+		rep.SpeedupCachedLow, time.Duration(rep.CacheHitNs), time.Duration(rep.DigestNs))
 	if rep.SpeedupSkippedSingleCPU {
 		fmt.Fprintln(stdout, "pipelined: single-CPU host; speedups omitted from the report (output parity and memory bound still asserted)")
 	} else {

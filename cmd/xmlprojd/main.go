@@ -66,6 +66,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(main
 	maxConcurrent := fs.Int("max-concurrent", 0, "concurrent prune limit; also divides the intra-document worker budget (0 = GOMAXPROCS)")
 	admissionWait := fs.Duration("admission-wait", 100*time.Millisecond, "how long a request queues for an admission slot before 429")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request prune deadline, 408 on expiry (0 = none)")
+	resultCache := fs.Int64("result-cache", xmlproj.DefaultResultCacheBytes, "byte budget for the content-addressed cache of pruned outputs; repeat documents on the gather path are served from cache with a strong ETag (0 or negative = disabled)")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "http server read-header timeout")
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http server keep-alive idle timeout")
 	writeTimeout := fs.Duration("write-timeout", 0, "http server write timeout; bounds the whole response, so leave 0 unless responses are small")
@@ -90,14 +91,19 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(main
 	}
 	logger := slog.New(h)
 
+	cacheBudget := *resultCache
+	if cacheBudget <= 0 {
+		cacheBudget = -1 // Options treats 0 as "default"; the flag's 0 means off
+	}
 	srv := server.New(server.Options{
-		MaxBodyBytes:   *maxBody,
-		MaxTokenSize:   *maxToken,
-		MaxGatherBytes: *maxGather,
-		MaxConcurrent:  *maxConcurrent,
-		AdmissionWait:  *admissionWait,
-		RequestTimeout: *reqTimeout,
-		Logger:         logger,
+		MaxBodyBytes:     *maxBody,
+		MaxTokenSize:     *maxToken,
+		MaxGatherBytes:   *maxGather,
+		MaxConcurrent:    *maxConcurrent,
+		AdmissionWait:    *admissionWait,
+		RequestTimeout:   *reqTimeout,
+		ResultCacheBytes: cacheBudget,
+		Logger:           logger,
 	})
 	for _, spec := range schemas {
 		name, d, err := loadSchema(spec, *root)

@@ -33,6 +33,7 @@ import (
 
 	"xmlproj"
 	"xmlproj/internal/mmapio"
+	"xmlproj/internal/rescache"
 )
 
 type stringList []string
@@ -64,6 +65,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	chunk := fs.Int("chunk", 0, "stage-1 index chunk size in bytes for intra-document parallelism (0 = auto)")
 	pipeWindow := fs.Int("pipe-window", 0, "pipelined streaming window size in bytes (0 = auto); stdin and pipe inputs on multi-CPU hosts use the pipelined pruner, whose memory is bounded by ring x window")
 	pipeRing := fs.Int("pipe-ring", 0, "pipelined streaming ring depth: window slabs in flight at once (0 = auto)")
+	resultCache := fs.Int64("result-cache", xmlproj.DefaultResultCacheBytes, "byte budget for the content-addressed result cache: duplicate documents in a batch are pruned once and served from cache (0 or negative = disabled)")
 	var queries, ins, projSpecs stringList
 	fs.Var(&queries, "q", "query (XPath or XQuery); repeatable")
 	fs.Var(&ins, "in", "input document or glob pattern; repeatable (default stdin)")
@@ -207,7 +209,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 	}
 
-	eng := xmlproj.NewEngine(xmlproj.EngineOptions{Workers: *jobs})
+	cacheBudget := *resultCache
+	if cacheBudget < 0 {
+		cacheBudget = 0
+	}
+	eng := xmlproj.NewEngine(xmlproj.EngineOptions{Workers: *jobs, ResultCacheBytes: cacheBudget})
 	start = time.Now()
 	results, agg, batchErr := eng.PruneBatch(context.Background(), p, batch, xmlproj.BatchOptions{
 		Workers:            *jobs,
@@ -287,6 +293,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			"xmlprune: %spruned %d/%d documents in %s; elements %d -> %d; %d -> %d bytes (%.1f MB/s); depth %d\n",
 			inferNote, agg.Pruned, len(batch), elapsed,
 			agg.ElementsIn, agg.ElementsOut, agg.BytesIn, agg.BytesOut, mbps, agg.MaxDepth)
+		// Duplicate documents in the batch were pruned once and copied
+		// out of the result cache; say how often that paid off.
+		if m := eng.Metrics(); m.ResultHits+m.ResultCoalesced+m.ResultMisses > 0 {
+			served := m.ResultHits + m.ResultCoalesced
+			total := served + m.ResultMisses
+			fmt.Fprintf(stderr, "xmlprune: result cache: %d/%d prunes served from cache (%.0f%% hit ratio)\n",
+				served, total, 100*float64(served)/float64(total))
+		}
 	}
 	return batchErr
 }
@@ -460,9 +474,18 @@ func runMulti(specs, ins stringList, dtdPath, root, out string, materialize, val
 
 // expandInputs glob-expands every -in value; a value without matches is
 // kept literally when it has no glob metacharacters (so a missing file
-// reports a useful open error) and rejected otherwise.
+// reports a useful open error) and rejected otherwise. A path produced
+// by several overlapping patterns is kept once — the same file pruned
+// twice would also collide on its output name.
 func expandInputs(ins []string) ([]string, error) {
 	var out []string
+	seen := make(map[string]bool)
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
 	for _, pat := range ins {
 		matches, err := filepath.Glob(pat)
 		if err != nil {
@@ -471,9 +494,11 @@ func expandInputs(ins []string) ([]string, error) {
 		switch {
 		case len(matches) > 0:
 			sort.Strings(matches)
-			out = append(out, matches...)
+			for _, m := range matches {
+				add(m)
+			}
 		case !strings.ContainsAny(pat, "*?["):
-			out = append(out, pat)
+			add(pat)
 		default:
 			return nil, fmt.Errorf("-in pattern %q matches nothing", pat)
 		}
@@ -550,6 +575,18 @@ func (s *fileSource) InputBytes() []byte {
 	}
 	s.data = d
 	return d.Bytes()
+}
+
+// ResultCacheIdentity implements rescache.Identifier: a (device, inode,
+// size, mtime) fingerprint that lets the result cache skip hashing a
+// file it digested before — batches with duplicate inputs (snapshots,
+// hard links) identify repeats by stat alone.
+func (s *fileSource) ResultCacheIdentity() (rescache.Identity, bool) {
+	fi, err := os.Stat(s.path)
+	if err != nil {
+		return rescache.Identity{}, false
+	}
+	return rescache.FileIdentity(fi)
 }
 
 // close releases the mapping after the batch; the prune is done with

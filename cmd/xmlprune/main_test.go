@@ -334,3 +334,69 @@ func TestRunMultiProjStdinBounded(t *testing.T) {
 		t.Fatalf("output wrong: %s", out.String())
 	}
 }
+
+// TestRunBatchResultCache: duplicate documents in a batch hit the
+// result cache — both output files are byte-identical to a fresh prune
+// and the summary reports the hit ratio.
+func TestRunBatchResultCache(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "bib.dtd", testDTD)
+	a := write(t, dir, "a.xml", testDoc)
+	b := write(t, dir, "b.xml", testDoc) // same content, different file
+	outDir := filepath.Join(dir, "out")
+
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-dtd", dtdPath, "-q", "//book/title", "-jobs", "1",
+		"-in", a, "-in", b, "-out", outDir},
+		strings.NewReader(""), &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := os.ReadFile(filepath.Join(outDir, "a.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := os.ReadFile(filepath.Join(outDir, "b.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1, got2) || !strings.Contains(string(got1), "<title>Commedia</title>") {
+		t.Fatalf("outputs differ or lost the title:\n a: %s\n b: %s", got1, got2)
+	}
+	if !strings.Contains(errBuf.String(), "result cache: 1/2 prunes served from cache (50% hit ratio)") {
+		t.Fatalf("missing cache summary: %s", errBuf.String())
+	}
+
+	// With the cache off the summary line disappears and output parity
+	// holds regardless.
+	errBuf.Reset()
+	err = run([]string{"-dtd", dtdPath, "-q", "//book/title", "-jobs", "1", "-result-cache", "0",
+		"-in", a, "-in", b, "-out", filepath.Join(dir, "out2")},
+		strings.NewReader(""), &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := os.ReadFile(filepath.Join(dir, "out2", "b.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(uncached, got2) {
+		t.Fatalf("cached output differs from uncached:\n cached: %s\nuncached: %s", got2, uncached)
+	}
+	if strings.Contains(errBuf.String(), "result cache:") {
+		t.Fatalf("disabled cache still summarised: %s", errBuf.String())
+	}
+}
+
+// TestExpandInputsDedupe: overlapping patterns yield each path once.
+func TestExpandInputsDedupe(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.xml", testDoc)
+	got, err := expandInputs([]string{a, filepath.Join(dir, "*.xml"), a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("expandInputs = %v, want just %q", got, a)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strings"
 	"time"
 
 	"xmlproj/internal/core"
@@ -35,11 +34,24 @@ type EngineOptions struct {
 	// Workers is the default pool width for PruneBatch. Zero means
 	// GOMAXPROCS.
 	Workers int
+	// ResultCacheBytes budgets the content-addressed result cache: a
+	// sharded, byte-budgeted LRU of pruned outputs keyed by (document
+	// digest, projection fingerprint, validate mode), with single-flight
+	// fill. Repeat prunes of an unchanged document under the same
+	// projector are served from cached bytes in O(digest) time through
+	// Engine.PruneGather / Engine.PruneBytes and batch jobs with
+	// in-memory sources. Zero or negative disables the cache (the
+	// recommended server default is 256 MiB, DefaultResultCacheBytes).
+	ResultCacheBytes int64
 }
 
 // NewEngine returns an engine with the given options.
 func NewEngine(opts EngineOptions) *Engine {
-	return &Engine{e: engine.New(engine.Options{CacheSize: opts.CacheSize, Workers: opts.Workers})}
+	return &Engine{e: engine.New(engine.Options{
+		CacheSize:        opts.CacheSize,
+		Workers:          opts.Workers,
+		ResultCacheBytes: opts.ResultCacheBytes,
+	})}
 }
 
 // InferCached is Infer through the engine's projector cache: the first
@@ -69,23 +81,10 @@ func (eng *Engine) InferCached(d *DTD, mode Mode, queries ...*Query) (*Projector
 	return &Projector{d: d.d, pr: pr}, nil
 }
 
-// fingerprint renders the grammar — root, edges, content models and
-// attribute declarations (which dtd.String omits but inference uses) —
-// and hashes it, so structurally identical schemas share cache entries.
+// fingerprint hashes the grammar so structurally identical schemas
+// share cache entries (see grammarFingerprint).
 func (d *DTD) fingerprint() string {
-	d.fpOnce.Do(func() {
-		var sb strings.Builder
-		sb.WriteString(d.d.String())
-		for _, n := range d.d.Names() {
-			def := d.d.Def(n)
-			for i := range def.Atts {
-				a := &def.Atts[i]
-				fmt.Fprintf(&sb, "att %s %s %q %v %q %v\n",
-					a.Name, a.Type, strings.Join(a.Enum, "|"), a.Required, a.Default, a.HasDefault)
-			}
-		}
-		d.fp = engine.Fingerprint(sb.String())
-	})
+	d.fpOnce.Do(func() { d.fp = grammarFingerprint(d.d) })
 	return d.fp
 }
 
@@ -238,6 +237,12 @@ func (eng *Engine) PruneBatch(ctx context.Context, p *Projector, jobs []BatchJob
 	if opts.Parallel {
 		eopts.Engine = prune.EngineParallel
 	}
+	// With a result cache configured, let jobs whose sources expose
+	// in-memory bytes be served content-addressed: repeat documents cost
+	// a digest instead of a scan. Streaming jobs are unaffected.
+	if eng.e.ResultCache().Enabled() {
+		eopts.ResultVariant = p.resultFingerprint(opts.Validate)
+	}
 	res, agg, err := eng.e.PruneBatch(ctx, p.d, p.pr.Names, ejobs, eopts)
 	out := make([]BatchResult, len(res))
 	for i, r := range res {
@@ -347,6 +352,19 @@ type EngineMetrics struct {
 	PipelinedPrunes, PipelinedFallbacks                                      int64
 	PipelineReadTime, PipelineIndexTime, PipelinePruneTime, PipelineEmitTime time.Duration
 	PeakWindowBytes                                                          int64
+	// ResultHits counts prunes served from the content-addressed result
+	// cache, ResultMisses prunes that filled it, ResultCoalesced callers
+	// that piggybacked on another caller's in-flight fill, and
+	// ResultEvictions entries dropped by the size-aware LRU.
+	// ResultBypasses counts outputs served but too large to store,
+	// ResultIdentityHits digests answered by the file-identity fast path
+	// without rehashing. ResultEntries / ResultBytes are the current
+	// population and footprint under ResultBudget. All zero when the
+	// cache is disabled.
+	ResultHits, ResultMisses, ResultCoalesced, ResultEvictions int64
+	ResultBypasses, ResultIdentityHits                         int64
+	ResultEntries                                              int
+	ResultBytes, ResultBudget                                  int64
 }
 
 // Metrics returns a snapshot of the engine's counters.
@@ -382,6 +400,16 @@ func (eng *Engine) Metrics() EngineMetrics {
 		PipelinePruneTime:  m.PipelinePruneTime,
 		PipelineEmitTime:   m.PipelineEmitTime,
 		PeakWindowBytes:    m.PeakWindowBytes,
+
+		ResultHits:         m.ResultCache.Hits,
+		ResultMisses:       m.ResultCache.Misses,
+		ResultCoalesced:    m.ResultCache.Coalesced,
+		ResultEvictions:    m.ResultCache.Evictions,
+		ResultBypasses:     m.ResultCache.Bypasses,
+		ResultIdentityHits: m.ResultCache.IdentityHits,
+		ResultEntries:      m.ResultCache.Entries,
+		ResultBytes:        m.ResultCache.Bytes,
+		ResultBudget:       m.ResultCache.Budget,
 	}
 }
 

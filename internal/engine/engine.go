@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"xmlproj/internal/core"
+	"xmlproj/internal/rescache"
 )
 
 // Key identifies a cached projector: the schema fingerprint, the
@@ -47,6 +48,11 @@ type Options struct {
 	// Workers is the default worker-pool width for PruneBatch when the
 	// batch options leave it unset. Zero means GOMAXPROCS.
 	Workers int
+	// ResultCacheBytes budgets the content-addressed cache of pruned
+	// outputs (internal/rescache): repeat (document digest, projection
+	// fingerprint, validate) requests are served from cached bytes
+	// instead of rescanning. Zero or negative disables it.
+	ResultCacheBytes int64
 }
 
 // Engine is safe for concurrent use by any number of goroutines.
@@ -65,6 +71,10 @@ type Engine struct {
 	// multi caches fused multi-projection decision tables (guarded by
 	// proj.mu) so repeated shared-scan requests fuse their set once.
 	multi *multiCache
+
+	// results caches pruned outputs by (document digest, variant); nil
+	// when Options.ResultCacheBytes is not positive.
+	results *rescache.Cache
 
 	m counters
 }
@@ -85,12 +95,13 @@ type flightCall struct {
 // New returns an engine with the given options.
 func New(opts Options) *Engine {
 	return &Engine{
-		opts:   opts,
-		lru:    list.New(),
-		idx:    make(map[Key]*list.Element),
-		flight: make(map[Key]*flightCall),
-		proj:   newProjCache(),
-		multi:  newMultiCache(),
+		opts:    opts,
+		lru:     list.New(),
+		idx:     make(map[Key]*list.Element),
+		flight:  make(map[Key]*flightCall),
+		proj:    newProjCache(),
+		multi:   newMultiCache(),
+		results: rescache.New(opts.ResultCacheBytes),
 	}
 }
 

@@ -3,6 +3,8 @@ package engine
 import (
 	"sync/atomic"
 	"time"
+
+	"xmlproj/internal/rescache"
 )
 
 // counters are the engine's live counters, updated with atomics so the
@@ -94,6 +96,9 @@ type Metrics struct {
 	PipelinePruneTime                   time.Duration
 	PipelineEmitTime                    time.Duration
 	PeakWindowBytes                     int64
+	// ResultCache is the content-addressed pruned-output cache snapshot
+	// (all zero when the cache is disabled).
+	ResultCache rescache.Metrics
 }
 
 // Metrics returns a snapshot. Individual counters are each read
@@ -130,6 +135,8 @@ func (e *Engine) Metrics() Metrics {
 		PipelinePruneTime:  time.Duration(e.m.pipePruneNanos.Load()),
 		PipelineEmitTime:   time.Duration(e.m.pipeEmitNanos.Load()),
 		PeakWindowBytes:    e.m.peakWindowBytes.Load(),
+
+		ResultCache: e.results.Snapshot(),
 	}
 }
 
@@ -166,5 +173,16 @@ func (m Metrics) Map() map[string]any {
 		"pipelined_prune_nanos":       int64(m.PipelinePruneTime),
 		"pipelined_emit_nanos":        int64(m.PipelineEmitTime),
 		"pipelined_peak_window_bytes": m.PeakWindowBytes,
+
+		"result_cache_hits":            m.ResultCache.Hits,
+		"result_cache_misses":          m.ResultCache.Misses,
+		"result_cache_coalesced":       m.ResultCache.Coalesced,
+		"result_cache_evictions":       m.ResultCache.Evictions,
+		"result_cache_bypasses":        m.ResultCache.Bypasses,
+		"result_cache_identity_hits":   m.ResultCache.IdentityHits,
+		"result_cache_identity_misses": m.ResultCache.IdentityMisses,
+		"result_cache_entries":         m.ResultCache.Entries,
+		"result_cache_bytes":           m.ResultCache.Bytes,
+		"result_cache_budget_bytes":    m.ResultCache.Budget,
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"xmlproj/internal/dtd"
 	"xmlproj/internal/prune"
+	"xmlproj/internal/rescache"
 )
 
 // Job is one document to prune: a source stream and a destination.
@@ -88,6 +89,13 @@ type BatchOptions struct {
 	// product.
 	PipelineWindowSize int
 	PipelineRingDepth  int
+	// ResultVariant enables the result cache for this batch: the
+	// projection-variant half of the cache key (projection fingerprint
+	// with the validate mode already folded in — see the public layer's
+	// resultFingerprint). Empty leaves the cache out of the batch.
+	// Only jobs whose sources expose in-memory bytes (prune.BytesSource)
+	// take the cached path; streaming jobs are pruned as before.
+	ResultVariant string
 }
 
 // BatchStats aggregates a batch.
@@ -206,17 +214,19 @@ func (e *Engine) runJob(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, proj *d
 	} else {
 		src := &countingReader{r: job.Src, ctx: ctx}
 		start := time.Now()
-		res.Stats, res.Err = prune.Stream(job.Dst, src, d, pi, prune.StreamOptions{
-			Validate:           opts.Validate,
-			Projection:         proj,
-			Engine:             opts.Engine,
-			ParallelWorkers:    opts.IntraWorkers,
-			ParallelChunkSize:  opts.IntraChunkSize,
-			PipelineWindowSize: opts.PipelineWindowSize,
-			PipelineRingDepth:  opts.PipelineRingDepth,
-			Detail:             &res.Parallel,
-			Pipeline:           &res.Pipeline,
-		})
+		if !e.tryCachedJob(src, job, d, pi, proj, opts, &res) {
+			res.Stats, res.Err = prune.Stream(job.Dst, src, d, pi, prune.StreamOptions{
+				Validate:           opts.Validate,
+				Projection:         proj,
+				Engine:             opts.Engine,
+				ParallelWorkers:    opts.IntraWorkers,
+				ParallelChunkSize:  opts.IntraChunkSize,
+				PipelineWindowSize: opts.PipelineWindowSize,
+				PipelineRingDepth:  opts.PipelineRingDepth,
+				Detail:             &res.Parallel,
+				Pipeline:           &res.Pipeline,
+			})
+		}
 		res.Elapsed = time.Since(start)
 		res.BytesIn = src.n
 		// A prune aborted by cancellation already carries the context
@@ -234,6 +244,64 @@ func (e *Engine) runJob(ctx context.Context, d *dtd.DTD, pi dtd.NameSet, proj *d
 	}
 	e.RecordPrune(res.BytesIn, res.Stats.BytesOut, res.Parallel, res.Pipeline, res.Err)
 	return res
+}
+
+// tryCachedJob serves one batch job through the result cache, reporting
+// whether it handled the job. Eligibility: the cache and a batch
+// variant are configured, the engine is not forced pipelined (a
+// streaming-semantics engine the cache deliberately bypasses), and the
+// source exposes its whole input in memory. The file-identity fast path
+// kicks in when the source also implements rescache.Identifier, so
+// repeat runs over unchanged files skip rehashing. On a cold key the
+// fill prunes the in-memory bytes with the shared compiled projection —
+// the same spans the streaming path would emit — and the output lands
+// in the cache; warm keys copy cached bytes straight to the
+// destination.
+func (e *Engine) tryCachedJob(src *countingReader, job Job, d *dtd.DTD, pi dtd.NameSet, proj *dtd.Projection, opts BatchOptions, res *JobResult) bool {
+	if e.results == nil || opts.ResultVariant == "" || opts.Engine == prune.EnginePipelined {
+		return false
+	}
+	data := src.InputBytes()
+	if data == nil {
+		// Not an in-memory source (or cancelled): the streaming path's own
+		// InputBytes probe repeats the question, which is harmless — a nil
+		// answer left nothing consumed.
+		return false
+	}
+	var idp *rescache.Identity
+	if ider, ok := job.Src.(rescache.Identifier); ok {
+		if id, idOK := ider.ResultCacheIdentity(); idOK {
+			idp = &id
+		}
+	}
+	key := rescache.Key{
+		Doc:     e.results.DigestFor(data, idp),
+		Variant: opts.ResultVariant,
+	}
+	entry, g, stats, _, err := e.CachedGather(key, func() (*prune.Gather, prune.Stats, error) {
+		return prune.StreamGather(data, d, pi, prune.StreamOptions{
+			Validate:          opts.Validate,
+			Projection:        proj,
+			Engine:            opts.Engine,
+			ParallelWorkers:   opts.IntraWorkers,
+			ParallelChunkSize: opts.IntraChunkSize,
+			Detail:            &res.Parallel,
+		})
+	})
+	if err != nil {
+		res.Err = err
+		return true
+	}
+	res.Stats = stats
+	if g != nil {
+		_, werr := g.WriteTo(job.Dst)
+		g.Close()
+		res.Err = werr
+	} else {
+		_, werr := entry.WriteTo(job.Dst)
+		res.Err = werr
+	}
+	return true
 }
 
 // RecordPrune credits one streaming prune into the engine's counters —

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xmlproj/internal/prune"
+	"xmlproj/internal/rescache"
+)
+
+const cachedDoc = `<bib><book><title>Projection</title><author>B</author><year>2006</year></book></bib>`
+
+// memSource is an in-memory batch source that takes the zero-copy
+// bytes path and (optionally) volunteers a file identity.
+type memSource struct {
+	data  []byte
+	id    rescache.Identity
+	hasID bool
+	off   int
+}
+
+func (m *memSource) Read(p []byte) (int, error) {
+	n := copy(p, m.data[m.off:])
+	m.off += n
+	if n == 0 {
+		return 0, errEOF
+	}
+	return n, nil
+}
+
+var errEOF = errStr("eof")
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }
+
+func (m *memSource) InputBytes() []byte                             { return m.data }
+func (m *memSource) InputSize() (int64, bool)                       { return int64(len(m.data)), true }
+func (m *memSource) ResultCacheIdentity() (rescache.Identity, bool) { return m.id, m.hasID }
+
+// TestCachedGatherSingleFlight mirrors TestInferCachedSingleFlight one
+// layer down: N concurrent cold CachedGather calls for one key run
+// exactly one prune; the leader keeps the pooled Gather, the rest share
+// the cached entry, and every caller sees identical bytes.
+func TestCachedGatherSingleFlight(t *testing.T) {
+	d := bib(t)
+	pi := titleProjector(t, d)
+	e := New(Options{ResultCacheBytes: 1 << 20})
+	key := rescache.Key{Doc: rescache.DigestBytes([]byte(cachedDoc)), Variant: "fp"}
+
+	var calls atomic.Int64
+	fill := func() (*prune.Gather, prune.Stats, error) {
+		calls.Add(1)
+		time.Sleep(20 * time.Millisecond) // hold the flight open so others pile on
+		return prune.StreamGather([]byte(cachedDoc), d, pi, prune.StreamOptions{})
+	}
+
+	want, _, err := prune.StreamGather([]byte(cachedDoc), d, pi, prune.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := want.AppendTo(nil)
+	want.Close()
+
+	const n = 8
+	start := make(chan struct{})
+	outs := make([][]byte, n)
+	hits := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			entry, g, _, hit, err := e.CachedGather(key, fill)
+			if err != nil {
+				t.Errorf("CachedGather: %v", err)
+				return
+			}
+			hits[i] = hit
+			if g != nil {
+				outs[i] = g.AppendTo(nil)
+				g.Close()
+			} else {
+				outs[i] = entry.AppendTo(nil)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fill ran %d times, want 1", got)
+	}
+	var hitCount int
+	for i := range outs {
+		if !bytes.Equal(outs[i], wantBytes) {
+			t.Fatalf("caller %d output differs:\n got %q\nwant %q", i, outs[i], wantBytes)
+		}
+		if hits[i] {
+			hitCount++
+		}
+	}
+	if hitCount != n-1 {
+		t.Fatalf("%d callers reported hits, want %d (one leader)", hitCount, n-1)
+	}
+	m := e.Metrics().ResultCache
+	if m.Misses != 1 || m.Coalesced != n-1 {
+		t.Fatalf("result cache misses=%d coalesced=%d, want 1 and %d", m.Misses, m.Coalesced, n-1)
+	}
+
+	// Warm lookup: the entry survives, no new fill.
+	entry, g, _, hit, err := e.CachedGather(key, fill)
+	if err != nil || !hit || g != nil || entry == nil {
+		t.Fatalf("warm CachedGather: entry=%v g=%v hit=%v err=%v", entry, g, hit, err)
+	}
+	if !bytes.Equal(entry.AppendTo(nil), wantBytes) {
+		t.Fatalf("warm entry bytes differ")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("warm lookup ran fill (%d calls)", got)
+	}
+}
+
+// TestCachedGatherUncacheableOutput: an output above the per-shard
+// budget is served but never stored; later callers prune again.
+func TestCachedGatherUncacheableOutput(t *testing.T) {
+	d := bib(t)
+	pi := titleProjector(t, d)
+	// Budget so small every real output exceeds a shard's slice.
+	e := New(Options{ResultCacheBytes: 16})
+	key := rescache.Key{Doc: rescache.DigestBytes([]byte(cachedDoc)), Variant: "fp"}
+
+	var calls atomic.Int64
+	fill := func() (*prune.Gather, prune.Stats, error) {
+		calls.Add(1)
+		return prune.StreamGather([]byte(cachedDoc), d, pi, prune.StreamOptions{})
+	}
+	for i := 0; i < 2; i++ {
+		entry, g, _, hit, err := e.CachedGather(key, fill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit || entry != nil || g == nil {
+			t.Fatalf("round %d: uncacheable output: entry=%v hit=%v g=%v", i, entry, hit, g)
+		}
+		g.Close()
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("fill ran %d times, want 2 (nothing cached)", got)
+	}
+	if m := e.Metrics().ResultCache; m.Entries != 0 {
+		t.Fatalf("uncacheable output was stored: %+v", m)
+	}
+}
+
+// TestBatchResultCache: a batch with ResultVariant set serves repeat
+// documents from the cache — byte-identical to the uncached run — and
+// sources that volunteer a file identity skip rehashing on the second
+// round.
+func TestBatchResultCache(t *testing.T) {
+	d := bib(t)
+	pi := titleProjector(t, d)
+	e := New(Options{ResultCacheBytes: 1 << 20})
+
+	id := rescache.Identity{Dev: 1, Ino: 99, Size: int64(len(cachedDoc)), MTimeNanos: 7}
+	runBatch := func(variant string) []byte {
+		var out bytes.Buffer
+		jobs := []Job{{
+			Name: "doc",
+			Src:  &memSource{data: []byte(cachedDoc), id: id, hasID: true},
+			Dst:  &out,
+		}}
+		_, _, err := e.PruneBatch(context.Background(), d, pi, jobs, BatchOptions{
+			Workers:       1,
+			ResultVariant: variant,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+
+	plain := runBatch("") // cache bypassed: the reference output
+	first := runBatch("fp")
+	second := runBatch("fp")
+	if !bytes.Equal(first, plain) || !bytes.Equal(second, plain) {
+		t.Fatalf("cached batch output differs from uncached:\nplain  %q\nfirst  %q\nsecond %q", plain, first, second)
+	}
+
+	m := e.Metrics().ResultCache
+	if m.Misses != 1 || m.Hits != 1 {
+		t.Fatalf("result cache misses=%d hits=%d, want 1 and 1", m.Misses, m.Hits)
+	}
+	if m.IdentityHits != 1 {
+		t.Fatalf("identity fast path hits=%d, want 1 (second round memoized)", m.IdentityHits)
+	}
+	em := e.Metrics()
+	if em.DocsPruned != 3 {
+		t.Fatalf("docs pruned = %d, want 3 (cache hits still count)", em.DocsPruned)
+	}
+	if em.BytesIn != 3*int64(len(cachedDoc)) {
+		t.Fatalf("bytes in = %d, want %d", em.BytesIn, 3*len(cachedDoc))
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package rescache
+
+import "os"
+
+// FileIdentity is unavailable on platforms without a unix stat shape:
+// callers fall back to rehashing content, which is always correct.
+func FileIdentity(fi os.FileInfo) (Identity, bool) {
+	return Identity{}, false
+}

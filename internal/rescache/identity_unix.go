@@ -1,0 +1,28 @@
+//go:build unix
+
+package rescache
+
+import (
+	"os"
+	"syscall"
+)
+
+// FileIdentity extracts the (dev, inode, size, mtime) identity of a
+// regular file for the digest fast path. ok=false for non-regular
+// files (their content can change without the identity moving) and
+// when the platform stat shape is unavailable.
+func FileIdentity(fi os.FileInfo) (Identity, bool) {
+	if fi == nil || !fi.Mode().IsRegular() {
+		return Identity{}, false
+	}
+	st, ok := fi.Sys().(*syscall.Stat_t)
+	if !ok {
+		return Identity{}, false
+	}
+	return Identity{
+		Dev:        uint64(st.Dev),
+		Ino:        uint64(st.Ino),
+		Size:       fi.Size(),
+		MTimeNanos: fi.ModTime().UnixNano(),
+	}, true
+}

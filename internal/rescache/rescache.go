@@ -1,0 +1,452 @@
+// Package rescache is the content-addressed cache of pruned outputs:
+// the piece that makes repeat (document, projector) pairs — the
+// workload the paper's amortization argument assumes — cost a digest
+// and a map probe instead of a full scan.
+//
+// Keys are (document digest, variant), where the variant folds in the
+// projection fingerprint, the validate mode and any engine-visible
+// option that changes the answer. The pruned output itself is
+// engine-independent (every engine is differential-tested to produce
+// byte-identical bytes), so the engine choice is deliberately NOT part
+// of the key: a result filled by the scanner serves a request that
+// would have run the parallel pruner.
+//
+// Entries store materialized output bytes — an owned copy made at
+// insert time — so the pooled span-gather buffers the pruner works in
+// can be released immediately; nothing in the cache aliases pooled
+// state. Eviction is size-aware LRU per shard under a global byte
+// budget, and concurrent cold requests for one key are single-flight
+// deduplicated: N callers, one prune.
+package rescache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/maphash"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"xmlproj/internal/prune"
+)
+
+// Digest identifies document content: a keyed 64-bit hash over the
+// bytes plus the exact length. The hash seed is drawn per process, so
+// digests (and the ETags built from them) are stable within one server
+// process but not across restarts — which HTTP conditional requests
+// tolerate by design (a miss just re-prunes). Documents of different
+// lengths can never collide; equal-length collisions need the keyed
+// 64-bit hash to collide, which the hidden seed makes infeasible to
+// construct and negligible (~n²/2⁶⁴) to hit by accident at cache-sized
+// populations.
+type Digest [16]byte
+
+// docSeed keys DigestBytes; shardSeed spreads keys across shards.
+var (
+	docSeed   = maphash.MakeSeed()
+	shardSeed = maphash.MakeSeed()
+)
+
+// DigestBytes digests document content. One pass at memory bandwidth —
+// an order of magnitude cheaper than the scan it stands in for, which
+// is what makes "serve repeat prunes in O(digest) time" a win.
+func DigestBytes(b []byte) Digest {
+	var d Digest
+	binary.LittleEndian.PutUint64(d[0:8], maphash.Bytes(docSeed, b))
+	binary.LittleEndian.PutUint64(d[8:16], uint64(len(b)))
+	return d
+}
+
+// String renders the digest as 32 hex characters.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// IsZero reports whether the digest is unset.
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// ParseDigest parses a String rendering back into a Digest.
+func ParseDigest(s string) (Digest, error) {
+	var d Digest
+	if len(s) != 2*len(d) {
+		return d, fmt.Errorf("rescache: digest must be %d hex characters, got %d", 2*len(d), len(s))
+	}
+	if _, err := hex.Decode(d[:], []byte(s)); err != nil {
+		return d, fmt.Errorf("rescache: bad digest: %w", err)
+	}
+	return d, nil
+}
+
+// Key identifies one cached result: document content by digest, and
+// everything else that determines the output bytes — projection
+// fingerprint, validate mode — folded into the variant string by the
+// caller.
+type Key struct {
+	Doc     Digest
+	Variant string
+}
+
+// Entry is one cached pruned output: an owned, immutable copy of the
+// rendered bytes plus the prune's stats. Entries are shared by every
+// reader that hits them; nothing may mutate the byte slice.
+type Entry struct {
+	out   []byte
+	Stats prune.Stats
+}
+
+// NewEntry wraps an output copy the cache takes ownership of. The
+// caller must not retain or modify out afterwards.
+func NewEntry(out []byte, stats prune.Stats) *Entry {
+	return &Entry{out: out, Stats: stats}
+}
+
+// Bytes returns the rendered output. The slice is shared and must be
+// treated as read-only.
+func (e *Entry) Bytes() []byte { return e.out }
+
+// Len is the rendered output size in bytes.
+func (e *Entry) Len() int64 { return int64(len(e.out)) }
+
+// WriteTo writes the rendered output to w (io.WriterTo).
+func (e *Entry) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(e.out)
+	return int64(n), err
+}
+
+// AppendTo appends the rendered output to dst.
+func (e *Entry) AppendTo(dst []byte) []byte { return append(dst, e.out...) }
+
+// entryOverhead approximates the per-entry bookkeeping cost (list
+// element, map bucket share, Entry and key headers) charged against
+// the byte budget alongside the output bytes.
+const entryOverhead = 128
+
+func entryCost(key Key, e *Entry) int64 {
+	return int64(len(e.out)) + int64(len(key.Variant)) + entryOverhead
+}
+
+// shardCount is the fixed shard fan-out (power of two). Sixteen
+// mutexes keep hit-path contention negligible at server concurrency
+// without fragmenting the byte budget into uselessly small slices.
+const shardCount = 16
+
+// identityCap bounds the file-identity memo table.
+const identityCap = 4096
+
+type shard struct {
+	mu    sync.Mutex
+	lru   *list.List // *shardEntry, most recently used first
+	idx   map[Key]*list.Element
+	bytes int64
+}
+
+type shardEntry struct {
+	key  Key
+	e    *Entry
+	cost int64
+}
+
+// call is one in-flight fill; concurrent requests for the same key
+// block on done and share entry/err. A nil entry with a nil err means
+// the leader's output was too large to cache — waiters re-fill
+// privately.
+type call struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// Identity is a file's identity for the digest fast path: device,
+// inode, size and mtime. An unchanged identity memoizes the content
+// digest, so repeat prunes of the same file never rehash it. The usual
+// caveat applies: a file rewritten in place within mtime granularity
+// at the same size is indistinguishable, exactly as with make(1).
+type Identity struct {
+	Dev, Ino         uint64
+	Size, MTimeNanos int64
+}
+
+// Identifier lets a prune source volunteer its file identity; batch
+// sources backed by regular files implement it so the engine can take
+// the digest fast path.
+type Identifier interface {
+	ResultCacheIdentity() (Identity, bool)
+}
+
+type idEntry struct {
+	id     Identity
+	digest Digest
+}
+
+// Cache is a sharded, byte-budgeted, content-addressed cache of pruned
+// outputs. Safe for concurrent use. A nil *Cache is valid and disabled:
+// Get always misses and GetOrFill degenerates to calling fill.
+type Cache struct {
+	shards   [shardCount]shard
+	perShard int64 // byte budget per shard; global budget = shardCount × perShard ≤ budget
+
+	flightMu sync.Mutex
+	flight   map[Key]*call
+
+	idMu  sync.Mutex
+	idLRU *list.List // *idEntry
+	idIdx map[Identity]*list.Element
+
+	budget                       int64
+	hits, misses, coalesced      atomic.Int64
+	evictions, bypasses          atomic.Int64
+	identityHits, identityMisses atomic.Int64
+}
+
+// New returns a cache with the given global byte budget, or nil (a
+// valid, disabled cache) when the budget is not positive.
+func New(budget int64) *Cache {
+	if budget <= 0 {
+		return nil
+	}
+	c := &Cache{
+		budget:   budget,
+		perShard: budget / shardCount,
+		flight:   make(map[Key]*call),
+		idLRU:    list.New(),
+		idIdx:    make(map[Identity]*list.Element),
+	}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].idx = make(map[Key]*list.Element)
+	}
+	return c
+}
+
+// Enabled reports whether the cache exists.
+func (c *Cache) Enabled() bool { return c != nil }
+
+// Budget returns the global byte budget (0 when disabled).
+func (c *Cache) Budget() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.budget
+}
+
+// Cacheable reports whether an output of n bytes can be retained at
+// all: entries above the per-shard budget are served but never stored
+// — copying them out would only thrash the LRU.
+func (c *Cache) Cacheable(n int64) bool {
+	return c != nil && n+entryOverhead <= c.perShard
+}
+
+func (c *Cache) shardOf(key Key) *shard {
+	var h maphash.Hash
+	h.SetSeed(shardSeed)
+	h.Write(key.Doc[:])
+	h.WriteString(key.Variant)
+	return &c.shards[h.Sum64()&(shardCount-1)]
+}
+
+// lookup probes one shard, refreshing LRU position on success.
+func (c *Cache) lookup(key Key) (*Entry, bool) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.idx[key]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*shardEntry).e, true
+}
+
+// Get probes the cache without filling: a peek for HEAD-style lookups.
+// It refreshes the entry's LRU position but moves no hit/miss counters
+// — a probe that finds nothing did not cost a prune.
+func (c *Cache) Get(key Key) (*Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	return c.lookup(key)
+}
+
+// GetOrFill returns the entry for key, running fill on a miss with
+// single-flight deduplication: one caller fills, concurrent callers
+// for the same key block and share the entry (hit=true for them) or
+// the error (shared but never cached, so a later request retries).
+// fill may return (nil, nil) to decline caching — its caller keeps
+// whatever it produced privately, and blocked waiters get (nil, false,
+// nil) and should fill for themselves.
+func (c *Cache) GetOrFill(key Key, fill func() (*Entry, error)) (*Entry, bool, error) {
+	if c == nil {
+		e, err := fill()
+		return e, false, err
+	}
+	if e, ok := c.lookup(key); ok {
+		c.hits.Add(1)
+		return e, true, nil
+	}
+	c.flightMu.Lock()
+	if f, ok := c.flight[key]; ok {
+		c.flightMu.Unlock()
+		<-f.done
+		c.coalesced.Add(1)
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		if f.entry != nil {
+			return f.entry, true, nil
+		}
+		return nil, false, nil
+	}
+	f := &call{done: make(chan struct{})}
+	c.flight[key] = f
+	c.flightMu.Unlock()
+
+	c.misses.Add(1)
+	f.entry, f.err = fill()
+	c.flightMu.Lock()
+	delete(c.flight, key)
+	c.flightMu.Unlock()
+	switch {
+	case f.err != nil:
+		// Errors are shared with waiters but never cached.
+	case f.entry != nil:
+		c.insert(key, f.entry)
+	default:
+		c.bypasses.Add(1)
+	}
+	close(f.done)
+	return f.entry, false, f.err
+}
+
+// insert adds key→e to its shard, evicting from the cold end until the
+// shard is back under budget. The per-shard budget is an invariant,
+// never exceeded after insert returns — which bounds the global
+// footprint by shardCount × perShard ≤ Budget.
+func (c *Cache) insert(key Key, e *Entry) {
+	cost := entryCost(key, e)
+	if cost > c.perShard {
+		c.bypasses.Add(1)
+		return
+	}
+	s := c.shardOf(key)
+	s.mu.Lock()
+	if el, ok := s.idx[key]; ok {
+		old := el.Value.(*shardEntry)
+		s.bytes += cost - old.cost
+		old.e, old.cost = e, cost
+		s.lru.MoveToFront(el)
+	} else {
+		s.idx[key] = s.lru.PushFront(&shardEntry{key: key, e: e, cost: cost})
+		s.bytes += cost
+	}
+	for s.bytes > c.perShard {
+		cold := s.lru.Back()
+		se := cold.Value.(*shardEntry)
+		s.lru.Remove(cold)
+		delete(s.idx, se.key)
+		s.bytes -= se.cost
+		c.evictions.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// DigestFor digests data, memoizing by file identity when one is
+// offered: an unchanged (dev, inode, size, mtime) returns the stored
+// digest without rehashing. An identity whose Size disagrees with the
+// data in hand (a stat that raced a rewrite) is not trusted and not
+// memoized.
+func (c *Cache) DigestFor(data []byte, id *Identity) Digest {
+	if c == nil || id == nil || id.Size != int64(len(data)) {
+		return DigestBytes(data)
+	}
+	c.idMu.Lock()
+	if el, ok := c.idIdx[*id]; ok {
+		c.idLRU.MoveToFront(el)
+		d := el.Value.(*idEntry).digest
+		c.idMu.Unlock()
+		c.identityHits.Add(1)
+		return d
+	}
+	c.idMu.Unlock()
+	c.identityMisses.Add(1)
+	d := DigestBytes(data)
+	c.idMu.Lock()
+	if _, ok := c.idIdx[*id]; !ok {
+		c.idIdx[*id] = c.idLRU.PushFront(&idEntry{id: *id, digest: d})
+		for c.idLRU.Len() > identityCap {
+			cold := c.idLRU.Back()
+			c.idLRU.Remove(cold)
+			delete(c.idIdx, cold.Value.(*idEntry).id)
+		}
+	}
+	c.idMu.Unlock()
+	return d
+}
+
+// Bytes returns the cache's current accounted footprint.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.bytes
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Entries returns the number of cached results.
+func (c *Cache) Entries() int {
+	if c == nil {
+		return 0
+	}
+	var n int
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Metrics is a point-in-time snapshot of the cache's counters.
+type Metrics struct {
+	// Hits counts lookups served from a cached entry, Misses lookups
+	// that ran a fill, Coalesced callers that piggybacked on another
+	// caller's in-flight fill.
+	Hits, Misses, Coalesced int64
+	// Evictions counts entries dropped by the size-aware LRU; Bypasses
+	// counts results served but never stored (larger than a shard's
+	// budget).
+	Evictions, Bypasses int64
+	// IdentityHits / IdentityMisses count digest-fast-path probes by
+	// outcome: a hit skipped rehashing an unchanged file.
+	IdentityHits, IdentityMisses int64
+	// Entries and Bytes are the current population and accounted
+	// footprint; Budget the configured global byte budget.
+	Entries int
+	Bytes   int64
+	Budget  int64
+}
+
+// Snapshot returns the cache's metrics (zero when disabled).
+func (c *Cache) Snapshot() Metrics {
+	if c == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Coalesced:      c.coalesced.Load(),
+		Evictions:      c.evictions.Load(),
+		Bypasses:       c.bypasses.Load(),
+		IdentityHits:   c.identityHits.Load(),
+		IdentityMisses: c.identityMisses.Load(),
+		Entries:        c.Entries(),
+		Bytes:          c.Bytes(),
+		Budget:         c.budget,
+	}
+}

@@ -89,6 +89,17 @@ type metrics struct {
 	multiTableHits   atomic.Int64
 	multiTableMisses atomic.Int64
 
+	// cacheHits / cacheMisses partition gather-path prunes that went
+	// through the result cache (HIT served cached bytes, MISS filled the
+	// cache); cache304 counts body-free revalidations answered 304 (both
+	// the POST If-None-Match path and HEAD probes); cacheHead counts
+	// HEAD /prune requests. Eviction and byte-residency counters live in
+	// the engine section of /debug/vars as result_cache_*.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	cache304    atomic.Int64
+	cacheHead   atomic.Int64
+
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
 	latency  histogram
@@ -122,6 +133,10 @@ func (m *metrics) snapshot() map[string]any {
 		"multi_fanout":         m.multiFanout.Load(),
 		"multi_table_hits":     m.multiTableHits.Load(),
 		"multi_table_misses":   m.multiTableMisses.Load(),
+		"cache_hits":           m.cacheHits.Load(),
+		"cache_misses":         m.cacheMisses.Load(),
+		"cache_304":            m.cache304.Load(),
+		"cache_head":           m.cacheHead.Load(),
 		"bytes_in":             m.bytesIn.Load(),
 		"bytes_out":            m.bytesOut.Load(),
 		"latency":              m.latency.snapshot(),

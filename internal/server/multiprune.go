@@ -33,7 +33,7 @@ func (s *Server) handleMultiprune(w http.ResponseWriter, r *http.Request) {
 	if nps == nil {
 		s.m.badRequests.Add(1)
 		http.Error(w, errMsg, errStatus)
-		s.logRequest(r, errStatus, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), errors.New(errMsg))
+		s.logRequest(r, errStatus, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), "", errors.New(errMsg))
 		return
 	}
 	s.m.multiFanout.Add(int64(len(nps)))
@@ -41,7 +41,7 @@ func (s *Server) handleMultiprune(w http.ResponseWriter, r *http.Request) {
 	if s.maxBody > 0 && r.ContentLength > s.maxBody {
 		s.m.rejectedLarge.Add(1)
 		http.Error(w, fmt.Sprintf("request body %d bytes exceeds limit %d", r.ContentLength, s.maxBody), http.StatusRequestEntityTooLarge)
-		s.logRequest(r, http.StatusRequestEntityTooLarge, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), errors.New("content-length over limit"))
+		s.logRequest(r, http.StatusRequestEntityTooLarge, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), "", errors.New("content-length over limit"))
 		return
 	}
 
@@ -49,7 +49,7 @@ func (s *Server) handleMultiprune(w http.ResponseWriter, r *http.Request) {
 		s.m.rejectedBusy.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "server at concurrency limit", http.StatusTooManyRequests)
-		s.logRequest(r, http.StatusTooManyRequests, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), errors.New("admission rejected"))
+		s.logRequest(r, http.StatusTooManyRequests, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), "", errors.New("admission rejected"))
 		return
 	}
 	defer func() { <-s.sem }()
@@ -116,7 +116,7 @@ func (s *Server) handleMultiprune(w http.ResponseWriter, r *http.Request) {
 		}
 		s.m.bytesIn.Add(body.n)
 		s.m.latency.observe(elapsed)
-		s.logRequest(r, status, body.n, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, elapsed, rerr)
+		s.logRequest(r, status, body.n, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, elapsed, "", rerr)
 		return
 	}
 
@@ -182,7 +182,13 @@ func (s *Server) handleMultiprune(w http.ResponseWriter, r *http.Request) {
 	} else if firstErr != nil {
 		s.classifyPruneErr(firstErr)
 	}
-	s.logRequest(r, http.StatusOK, body.n, bytesOut, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, elapsed, firstErr)
+	// The shared scan prunes N projections in one pass; its outputs are
+	// interleaved with the scan, so the result cache never covers it.
+	cacheAttr := ""
+	if s.eng.ResultCacheEnabled() {
+		cacheAttr = "bypass"
+	}
+	s.logRequest(r, http.StatusOK, body.n, bytesOut, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, elapsed, cacheAttr, firstErr)
 }
 
 // recordMultiPart credits one projector's share of a multiprune into the

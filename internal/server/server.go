@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -84,6 +85,15 @@ type Options struct {
 	// on expiry the prune aborts and the request fails with 408. Zero
 	// means no per-request deadline.
 	RequestTimeout time.Duration
+	// ResultCacheBytes budgets the engine's content-addressed cache of
+	// pruned outputs when the server creates its own engine (Engine ==
+	// nil; an explicitly provided engine keeps its own configuration).
+	// Gather-path requests for a repeat (document, projection, validate)
+	// triple are served from cached bytes with a strong ETag, and
+	// clients holding the ETag revalidate body-free via If-None-Match +
+	// X-Doc-Digest. Zero means xmlproj.DefaultResultCacheBytes (256
+	// MiB); negative disables the cache.
+	ResultCacheBytes int64
 	// Logger receives one structured record per /prune request. Nil
 	// means slog.Default().
 	Logger *slog.Logger
@@ -118,7 +128,14 @@ type namedProjection struct {
 func New(opts Options) *Server {
 	eng := opts.Engine
 	if eng == nil {
-		eng = xmlproj.NewEngine(xmlproj.EngineOptions{})
+		resultCache := opts.ResultCacheBytes
+		if resultCache == 0 {
+			resultCache = xmlproj.DefaultResultCacheBytes
+		}
+		if resultCache < 0 {
+			resultCache = 0
+		}
+		eng = xmlproj.NewEngine(xmlproj.EngineOptions{ResultCacheBytes: resultCache})
 	}
 	width := opts.MaxConcurrent
 	if width <= 0 {
@@ -209,6 +226,7 @@ func (s *Server) infer(d *xmlproj.DTD, queries []string) (*xmlproj.Projector, er
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /prune", s.handlePrune)
+	mux.HandleFunc("HEAD /prune", s.handlePruneHead)
 	mux.HandleFunc("POST /multiprune", s.handleMultiprune)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -267,6 +285,35 @@ func (s *Server) handleSchemas(w http.ResponseWriter, r *http.Request) {
 // were already streamed, when the status line is long gone.
 const errorTrailer = "X-Xmlprojd-Error"
 
+// headerDocDigest carries the document's content digest. The server
+// returns it alongside every cache-eligible response; a client that
+// echoes it (with If-None-Match) on a later request lets the server
+// answer 304 without reading the body at all, and it is what makes
+// HEAD /prune addressable without a body.
+const headerDocDigest = "X-Doc-Digest"
+
+// headerXCache reports how the result cache treated the request: HIT,
+// MISS, or BYPASS (streaming/unsized bodies, which the cache does not
+// cover).
+const headerXCache = "X-Cache"
+
+// etagMatch reports whether an If-None-Match header value matches the
+// given strong ETag. Weak prefixes are ignored — the cache's ETags are
+// strong and byte-exact, so W/"x" and "x" name the same bytes here.
+func etagMatch(ifNoneMatch, etag string) bool {
+	if ifNoneMatch == "" || etag == "" {
+		return false
+	}
+	for _, part := range strings.Split(ifNoneMatch, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
 // statusClientGone is nginx's non-standard "client closed request";
 // nothing can be delivered, the code only exists for logs and metrics.
 const statusClientGone = 499
@@ -293,14 +340,30 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 	if np == nil {
 		s.m.badRequests.Add(1)
 		http.Error(w, errMsg, errStatus)
-		s.logRequest(r, errStatus, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), errors.New(errMsg))
+		s.logRequest(r, errStatus, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), "", errors.New(errMsg))
 		return
+	}
+
+	// Body-free revalidation: a client that echoes the digest from a
+	// prior response can 304 on the ETag alone — before admission
+	// control, before a single body byte is read. The digest pins the
+	// exact document bytes, so the match is as strong as re-digesting.
+	if dig := r.Header.Get(headerDocDigest); dig != "" {
+		if etag := s.eng.ResultETag(np.p, dig, np.validate); etagMatch(r.Header.Get("If-None-Match"), etag) {
+			s.m.cache304.Add(1)
+			w.Header().Set("ETag", etag)
+			w.Header().Set(headerDocDigest, dig)
+			w.Header().Set(headerXCache, "HIT")
+			w.WriteHeader(http.StatusNotModified)
+			s.logRequest(r, http.StatusNotModified, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), "revalidated", nil)
+			return
+		}
 	}
 
 	if s.maxBody > 0 && r.ContentLength > s.maxBody {
 		s.m.rejectedLarge.Add(1)
 		http.Error(w, fmt.Sprintf("request body %d bytes exceeds limit %d", r.ContentLength, s.maxBody), http.StatusRequestEntityTooLarge)
-		s.logRequest(r, http.StatusRequestEntityTooLarge, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), errors.New("content-length over limit"))
+		s.logRequest(r, http.StatusRequestEntityTooLarge, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), "", errors.New("content-length over limit"))
 		return
 	}
 
@@ -308,7 +371,7 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 		s.m.rejectedBusy.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "server at concurrency limit", http.StatusTooManyRequests)
-		s.logRequest(r, http.StatusTooManyRequests, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), errors.New("admission rejected"))
+		s.logRequest(r, http.StatusTooManyRequests, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), "", errors.New("admission rejected"))
 		return
 	}
 	defer func() { <-s.sem }()
@@ -347,6 +410,14 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 	// the status code.
 	w.Header().Set("Content-Type", "application/xml")
 	w.Header().Set("Trailer", errorTrailer)
+	// The streaming path never holds the whole document, so there is
+	// nothing to digest or cache — say so explicitly, so clients can tell
+	// a bypass from a cache-disabled server.
+	cacheAttr := ""
+	if s.eng.ResultCacheEnabled() {
+		w.Header().Set(headerXCache, "BYPASS")
+		cacheAttr = "bypass"
+	}
 
 	cw := &countingResponseWriter{rw: w}
 	// Stream the pruned bytes out as they are produced: the pipelined
@@ -390,7 +461,7 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), status)
 		}
 	}
-	s.finish(r, status, body, stats, chosen, det, pdet, elapsed, err)
+	s.finish(r, status, body, stats, chosen, det, pdet, elapsed, cacheAttr, err)
 }
 
 // gatherBufPool recycles the request-body buffers of the span-gather
@@ -416,15 +487,31 @@ func (s *Server) pruneGathered(w http.ResponseWriter, r *http.Request, np *named
 	chosen := xmlproj.PruneAuto
 	var stats xmlproj.PruneStats
 	var res *xmlproj.PruneResult
+	var info xmlproj.CacheInfo
+	var notModified bool
 	if err == nil {
-		res, err = np.p.PruneGather(buf.Bytes(), xmlproj.StreamOptions{
+		sopts := xmlproj.StreamOptions{
 			Validate:     np.validate,
 			MaxTokenSize: s.opts.MaxTokenSize,
 			IntraWorkers: s.intraWorkers,
 			Context:      ctx,
 			Detail:       &det,
 			Chosen:       &chosen,
-		})
+		}
+		if digest, ok := s.eng.DigestBytes(buf.Bytes()); ok {
+			// The body is in hand and digested; if the client already
+			// holds exactly this pruned entity, skip the prune and send
+			// nothing back.
+			etag := s.eng.ResultETag(np.p, digest, np.validate)
+			if etagMatch(r.Header.Get("If-None-Match"), etag) {
+				notModified = true
+				info = xmlproj.CacheInfo{Enabled: true, Hit: true, Digest: digest, ETag: etag}
+			} else {
+				res, info, err = s.eng.PruneGatherDigest(np.p, buf.Bytes(), digest, sopts)
+			}
+		} else {
+			res, err = np.p.PruneGather(buf.Bytes(), sopts)
+		}
 		if res != nil {
 			stats = res.Stats
 		}
@@ -438,12 +525,35 @@ func (s *Server) pruneGathered(w http.ResponseWriter, r *http.Request, np *named
 		_ = rc.SetWriteDeadline(time.Time{})
 	}
 
+	cacheAttr := ""
 	status := http.StatusOK
-	if err != nil {
+	switch {
+	case err != nil:
 		status = s.classifyPruneErr(err)
 		http.Error(w, err.Error(), status)
-	} else {
+	case notModified:
+		s.m.cache304.Add(1)
+		status = http.StatusNotModified
+		w.Header().Set("ETag", info.ETag)
+		w.Header().Set(headerDocDigest, info.Digest)
+		w.Header().Set(headerXCache, "HIT")
+		w.WriteHeader(status)
+		cacheAttr = "revalidated"
+	default:
 		s.m.gatherPrunes.Add(1)
+		if info.Enabled {
+			w.Header().Set("ETag", info.ETag)
+			w.Header().Set(headerDocDigest, info.Digest)
+			if info.Hit {
+				s.m.cacheHits.Add(1)
+				w.Header().Set(headerXCache, "HIT")
+				cacheAttr = "hit"
+			} else {
+				s.m.cacheMisses.Add(1)
+				w.Header().Set(headerXCache, "MISS")
+				cacheAttr = "miss"
+			}
+		}
 		w.Header().Set("Content-Type", "application/xml")
 		w.Header().Set("Content-Length", strconv.FormatInt(res.Len(), 10))
 		if _, werr := res.WriteTo(w); werr != nil {
@@ -460,7 +570,68 @@ func (s *Server) pruneGathered(w http.ResponseWriter, r *http.Request, np *named
 	if buf.Cap() <= maxPooledGatherBuf {
 		gatherBufPool.Put(buf)
 	}
-	s.finish(r, status, body, stats, chosen, det, xmlproj.PipelineStages{}, elapsed, err)
+	s.finish(r, status, body, stats, chosen, det, xmlproj.PipelineStages{}, elapsed, cacheAttr, err)
+}
+
+// handlePruneHead answers HEAD /prune from the result cache alone: no
+// body is read and no prune runs. The client names the document by
+// digest (X-Doc-Digest, as returned by a prior POST) and the projection
+// by the usual query parameters; the response carries the strong ETag
+// and, when the pruned output is cached right now, X-Cache: HIT with
+// its Content-Length. With If-None-Match it degenerates to a pure
+// revalidation probe (304 on match).
+func (s *Server) handlePruneHead(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.m.requests.Add(1)
+	s.m.cacheHead.Add(1)
+
+	np, errStatus, errMsg := s.resolve(r)
+	if np == nil {
+		s.m.badRequests.Add(1)
+		http.Error(w, errMsg, errStatus)
+		s.logRequest(r, errStatus, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), "", errors.New(errMsg))
+		return
+	}
+	dig := r.Header.Get(headerDocDigest)
+	var msg string
+	switch {
+	case !s.eng.ResultCacheEnabled():
+		msg = "HEAD /prune needs the result cache, which is disabled"
+	case dig == "":
+		msg = "HEAD /prune needs an " + headerDocDigest + " header (as returned by a prior POST /prune)"
+	}
+	if msg != "" {
+		s.m.badRequests.Add(1)
+		http.Error(w, msg, http.StatusBadRequest)
+		s.logRequest(r, http.StatusBadRequest, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), "", errors.New(msg))
+		return
+	}
+
+	etag := s.eng.ResultETag(np.p, dig, np.validate)
+	w.Header().Set("ETag", etag)
+	w.Header().Set(headerDocDigest, dig)
+	status := http.StatusOK
+	var cacheAttr string
+	switch {
+	case etagMatch(r.Header.Get("If-None-Match"), etag):
+		s.m.cache304.Add(1)
+		status = http.StatusNotModified
+		w.Header().Set(headerXCache, "HIT")
+		cacheAttr = "revalidated"
+	default:
+		if n, ok := s.eng.CachedLen(np.p, dig, np.validate); ok {
+			w.Header().Set(headerXCache, "HIT")
+			w.Header().Set("Content-Type", "application/xml")
+			w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+			cacheAttr = "hit"
+		} else {
+			w.Header().Set(headerXCache, "MISS")
+			cacheAttr = "miss"
+		}
+	}
+	w.WriteHeader(status)
+	s.m.ok.Add(1)
+	s.logRequest(r, status, 0, 0, xmlproj.PruneAuto, xmlproj.ParallelStages{}, xmlproj.PipelineStages{}, time.Since(start), cacheAttr, nil)
 }
 
 // classifyPruneErr maps a failed prune (or body read) to its HTTP
@@ -484,7 +655,7 @@ func (s *Server) classifyPruneErr(err error) int {
 }
 
 // finish records the request's metrics and log line.
-func (s *Server) finish(r *http.Request, status int, body *meteredBody, stats xmlproj.PruneStats, chosen xmlproj.PruneEngine, det xmlproj.ParallelStages, pdet xmlproj.PipelineStages, elapsed time.Duration, err error) {
+func (s *Server) finish(r *http.Request, status int, body *meteredBody, stats xmlproj.PruneStats, chosen xmlproj.PruneEngine, det xmlproj.ParallelStages, pdet xmlproj.PipelineStages, elapsed time.Duration, cache string, err error) {
 	s.m.bytesIn.Add(body.n)
 	s.m.bytesOut.Add(stats.BytesOut)
 	s.m.latency.observe(elapsed)
@@ -496,7 +667,7 @@ func (s *Server) finish(r *http.Request, status int, body *meteredBody, stats xm
 	if err == nil {
 		s.m.ok.Add(1)
 	}
-	s.logRequest(r, status, body.n, stats.BytesOut, chosen, det, pdet, elapsed, err)
+	s.logRequest(r, status, body.n, stats.BytesOut, chosen, det, pdet, elapsed, cache, err)
 }
 
 // resolve maps the request to a projector: either a precompiled named
@@ -560,8 +731,10 @@ func (s *Server) admit(ctx context.Context) bool {
 	}
 }
 
-// logRequest emits the per-request structured record.
-func (s *Server) logRequest(r *http.Request, status int, bytesIn, bytesOut int64, eng xmlproj.PruneEngine, det xmlproj.ParallelStages, pdet xmlproj.PipelineStages, elapsed time.Duration, err error) {
+// logRequest emits the per-request structured record. cache is the
+// result-cache outcome ("hit", "miss", "bypass", "revalidated"; empty
+// when the cache played no part).
+func (s *Server) logRequest(r *http.Request, status int, bytesIn, bytesOut int64, eng xmlproj.PruneEngine, det xmlproj.ParallelStages, pdet xmlproj.PipelineStages, elapsed time.Duration, cache string, err error) {
 	attrs := []any{
 		"method", r.Method,
 		"path", r.URL.Path,
@@ -572,6 +745,9 @@ func (s *Server) logRequest(r *http.Request, status int, bytesIn, bytesOut int64
 		"bytes_out", bytesOut,
 		"engine", eng.String(),
 		"elapsed", elapsed,
+	}
+	if cache != "" {
+		attrs = append(attrs, "cache", cache)
 	}
 	if det.Workers > 0 {
 		attrs = append(attrs,

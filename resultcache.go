@@ -1,0 +1,219 @@
+package xmlproj
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"xmlproj/internal/dtd"
+	"xmlproj/internal/engine"
+	"xmlproj/internal/prune"
+	"xmlproj/internal/rescache"
+)
+
+// DefaultResultCacheBytes is the recommended result-cache budget for
+// server deployments (the xmlprojd and xmlprune default): large enough
+// to hold a working set of pruned outputs, small next to the document
+// corpus the paper's workloads assume.
+const DefaultResultCacheBytes int64 = 256 << 20
+
+// CacheInfo describes how the engine's result cache handled one prune.
+type CacheInfo struct {
+	// Enabled reports that the call was eligible for the cache (a cache
+	// is configured and nothing forced a bypass). When false the other
+	// fields are zero.
+	Enabled bool
+	// Hit reports the prune was served from a cached entry — including
+	// coalescing onto another caller's in-flight fill.
+	Hit bool
+	// Digest is the document's content digest (32 hex chars), the value
+	// clients echo back in X-Doc-Digest for body-less revalidation.
+	Digest string
+	// ETag is the strong entity tag for the (document, projector,
+	// validate) triple: quoted "digest-fingerprint".
+	ETag string
+}
+
+// grammarFingerprint renders the grammar — root, edges, content models
+// and attribute declarations (which dtd.String omits but inference
+// uses) — and hashes it, so structurally identical schemas share cache
+// entries.
+func grammarFingerprint(g *dtd.DTD) string {
+	var sb strings.Builder
+	sb.WriteString(g.String())
+	for _, n := range g.Names() {
+		def := g.Def(n)
+		for i := range def.Atts {
+			a := &def.Atts[i]
+			fmt.Fprintf(&sb, "att %s %s %q %v %q %v\n",
+				a.Name, a.Type, strings.Join(a.Enum, "|"), a.Required, a.Default, a.HasDefault)
+		}
+	}
+	return engine.Fingerprint(sb.String())
+}
+
+// dtdFPs memoizes grammar fingerprints per parsed grammar, so
+// projectors built from the same *dtd.DTD (the common case: one schema,
+// many projectors) render and hash it once. Keyed by pointer: the map
+// holds as many entries as the process holds distinct live grammars.
+var dtdFPs sync.Map // *dtd.DTD → string
+
+func dtdFingerprintOf(g *dtd.DTD) string {
+	if v, ok := dtdFPs.Load(g); ok {
+		return v.(string)
+	}
+	fp := grammarFingerprint(g)
+	dtdFPs.Store(g, fp)
+	return fp
+}
+
+// resultFingerprint is the projection-variant half of a result-cache
+// key and ETag: the schema fingerprint, the sorted projector names and
+// the validate mode, hashed. Everything that changes the output bytes
+// is in here; the prune engine is not, because every engine emits
+// byte-identical output (differential-tested), so a result filled by
+// one engine legitimately serves them all.
+func (p *Projector) resultFingerprint(validate bool) string {
+	p.fpOnce.Do(func() {
+		names := p.pr.Names.Sorted()
+		parts := make([]string, 0, len(names)+1)
+		parts = append(parts, dtdFingerprintOf(p.d))
+		for _, n := range names {
+			parts = append(parts, string(n))
+		}
+		p.fp[0] = engine.Fingerprint(parts...)
+		p.fp[1] = engine.Fingerprint(append(parts, "validate")...)
+	})
+	if validate {
+		return p.fp[1]
+	}
+	return p.fp[0]
+}
+
+// etagOf renders the strong ETag for a (digest, fingerprint) pair.
+func etagOf(digest, fp string) string {
+	return `"` + digest + "-" + fp + `"`
+}
+
+// ResultCacheEnabled reports whether this engine was built with a
+// result cache (EngineOptions.ResultCacheBytes > 0).
+func (eng *Engine) ResultCacheEnabled() bool {
+	return eng.e.ResultCache().Enabled()
+}
+
+// DigestBytes returns the content digest (32 hex chars) the result
+// cache keys data under — the value ResultETag and PruneGatherDigest
+// accept, and what xmlprojd returns in X-Doc-Digest. ok is false when
+// the engine has no result cache (digests are then meaningless to it).
+// Digests are stable within a process, not across restarts.
+func (eng *Engine) DigestBytes(data []byte) (digest string, ok bool) {
+	if !eng.ResultCacheEnabled() {
+		return "", false
+	}
+	return rescache.DigestBytes(data).String(), true
+}
+
+// ResultETag composes the strong ETag for (document digest, projector,
+// validate): the token a client revalidates with via If-None-Match.
+// Empty when the digest is empty or the cache is disabled.
+func (eng *Engine) ResultETag(p *Projector, docDigest string, validate bool) string {
+	if docDigest == "" || !eng.ResultCacheEnabled() {
+		return ""
+	}
+	return etagOf(docDigest, p.resultFingerprint(validate))
+}
+
+// CachedLen peeks at the result cache: the rendered output size for
+// (document digest, projector, validate) if it is cached right now.
+// No prune runs and no hit/miss counters move — this is the HEAD path.
+func (eng *Engine) CachedLen(p *Projector, docDigest string, validate bool) (int64, bool) {
+	c := eng.e.ResultCache()
+	if !c.Enabled() {
+		return 0, false
+	}
+	dig, err := rescache.ParseDigest(docDigest)
+	if err != nil {
+		return 0, false
+	}
+	entry, ok := c.Get(rescache.Key{Doc: dig, Variant: p.resultFingerprint(validate)})
+	if !ok {
+		return 0, false
+	}
+	return entry.Len(), true
+}
+
+// PruneGather is Projector.PruneGather routed through the engine's
+// result cache: the document is digested, and a repeat (digest,
+// projector, validate) triple is served from cached bytes — byte
+// identical to a fresh prune — without scanning the document. Cold
+// triples prune once (concurrent duplicates coalesce onto one fill)
+// and leave a materialized copy behind, subject to the byte budget.
+// The caller must Close the result either way.
+//
+// The cache is bypassed (info.Enabled false, plain prune) when the
+// engine has no cache, opts.NoResultCache is set, or the pipelined
+// engine is forced — pipelined semantics are about streaming bounded
+// windows, which an in-memory cached serve would misrepresent.
+func (eng *Engine) PruneGather(p *Projector, data []byte, opts StreamOptions) (*PruneResult, CacheInfo, error) {
+	return eng.PruneGatherDigest(p, data, "", opts)
+}
+
+// PruneGatherDigest is PruneGather with the document digest already in
+// hand (as returned by DigestBytes) so callers that digested the body
+// for ETag purposes don't hash it twice. An empty or malformed digest
+// is computed from data instead.
+func (eng *Engine) PruneGatherDigest(p *Projector, data []byte, docDigest string, opts StreamOptions) (*PruneResult, CacheInfo, error) {
+	c := eng.e.ResultCache()
+	if !c.Enabled() || opts.NoResultCache || opts.Engine == PrunePipelined {
+		res, err := p.PruneGather(data, opts)
+		return res, CacheInfo{}, err
+	}
+	var dig rescache.Digest
+	if docDigest != "" {
+		if d, err := rescache.ParseDigest(docDigest); err == nil {
+			dig = d
+		}
+	}
+	if dig.IsZero() {
+		dig = rescache.DigestBytes(data)
+	}
+	fp := p.resultFingerprint(opts.Validate)
+	info := CacheInfo{Enabled: true, Digest: dig.String(), ETag: etagOf(dig.String(), fp)}
+
+	proj := eng.e.ProjectionFor(p.d, p.pr.Names)
+	entry, g, st, hit, err := eng.e.CachedGather(rescache.Key{Doc: dig, Variant: fp}, func() (*prune.Gather, prune.Stats, error) {
+		popts, finish := streamOptsOf(opts)
+		popts.Projection = proj
+		gg, gst, gerr := prune.StreamGather(data, p.d, p.pr.Names, popts)
+		finish()
+		return gg, gst, gerr
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	info.Hit = hit
+	if g != nil {
+		return &PruneResult{Stats: pruneStatsOf(st), g: g}, info, nil
+	}
+	return &PruneResult{Stats: pruneStatsOf(entry.Stats), cached: entry}, info, nil
+}
+
+// PruneBytes is Projector.PruneBytes routed through the engine's result
+// cache (see PruneGather for eligibility and semantics): the pruned
+// output is written to dst, from cached bytes on a hit.
+func (eng *Engine) PruneBytes(p *Projector, dst io.Writer, data []byte, opts StreamOptions) (PruneStats, CacheInfo, error) {
+	if !eng.ResultCacheEnabled() || opts.NoResultCache || opts.Engine == PrunePipelined {
+		st, err := p.PruneBytes(dst, data, opts)
+		return st, CacheInfo{}, err
+	}
+	res, info, err := eng.PruneGatherDigest(p, data, "", opts)
+	if err != nil {
+		return PruneStats{}, info, err
+	}
+	defer res.Close()
+	if _, werr := res.WriteTo(dst); werr != nil {
+		return res.Stats, info, werr
+	}
+	return res.Stats, info, nil
+}

@@ -21,17 +21,20 @@ package xmlproj
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"xmlproj/internal/core"
 	"xmlproj/internal/dataguide"
 	"xmlproj/internal/dtd"
 	"xmlproj/internal/prune"
+	"xmlproj/internal/rescache"
 	"xmlproj/internal/tree"
 	"xmlproj/internal/validate"
 	"xmlproj/internal/xpath"
@@ -288,6 +291,11 @@ const (
 type Projector struct {
 	d  *dtd.DTD
 	pr *core.Projector
+
+	// fp memoizes the result-cache/ETag fingerprints for the plain and
+	// validated variants of this projector (see resultFingerprint).
+	fpOnce sync.Once
+	fp     [2]string
 }
 
 // Infer computes the union projector for a bunch of queries (§5:
@@ -535,6 +543,11 @@ type StreamOptions struct {
 	PipelineRingDepth int
 	// Chosen, when non-nil, receives the engine that actually ran.
 	Chosen *PruneEngine
+	// NoResultCache bypasses the engine's content-addressed result cache
+	// for this call (Engine.PruneGather and friends): the document is
+	// digested and pruned fresh, and nothing is stored. It has no effect
+	// on plain Projector methods, which never touch the cache.
+	NoResultCache bool
 }
 
 // PruneStreamOpts is PruneStream with per-call options: validation,
@@ -567,37 +580,105 @@ func (p *Projector) PruneBytes(dst io.Writer, data []byte, opts StreamOptions) (
 // from the input buffer, never copied in user space. The input slice
 // must stay alive and unmodified until Close.
 //
-// Release contract: a PruneResult wraps pooled gather state. The owner
-// must call Close exactly when done with it — on every path, including
-// error paths after a partial WriteTo. A result that is never Closed is
-// not unsafe (the garbage collector reclaims it) but its buffers leave
-// the pool, costing fresh allocations on later prunes. Close is
-// idempotent; every other method is invalid after the first Close.
+// Release contract: a PruneResult may wrap pooled gather state, so the
+// owner must call Close exactly when done with it — on every path,
+// including error paths after a partial WriteTo. A result that is never
+// Closed is not unsafe (the garbage collector reclaims it) but its
+// buffers leave the pool, costing fresh allocations on later prunes.
+// Close is guarded by an atomic flag on the result itself: calling it
+// again is a no-op even after the pool has reissued the underlying
+// gather state to another prune, so a double-Close can never release a
+// different owner's buffers. After Close, accessor methods are safe but
+// degenerate — WriteTo returns ErrResultReleased, Bytes returns nil and
+// the size accessors return zero — rather than touching recycled state.
+// A PruneResult is single-owner: the struct itself is not meant for
+// concurrent use (share the written output instead).
+//
+// When a result is served by an Engine's result cache it is backed by
+// an immutable cached copy instead of pooled spans; the same contract
+// applies, and Close simply drops the reference (cached bytes are owned
+// by the cache, never returned to a pool).
 type PruneResult struct {
 	// Stats reports what the prune did; BytesOut is the rendered size.
-	Stats PruneStats
-	g     *prune.Gather
+	Stats    PruneStats
+	g        *prune.Gather
+	cached   *rescache.Entry
+	released atomic.Bool
 }
 
+// ErrResultReleased is returned by PruneResult.WriteTo after Close.
+var ErrResultReleased = errors.New("xmlproj: PruneResult used after Close")
+
 // WriteTo renders the pruned document to w (io.WriterTo).
-func (r *PruneResult) WriteTo(w io.Writer) (int64, error) { return r.g.WriteTo(w) }
+func (r *PruneResult) WriteTo(w io.Writer) (int64, error) {
+	if r.released.Load() {
+		return 0, ErrResultReleased
+	}
+	if r.cached != nil {
+		return r.cached.WriteTo(w)
+	}
+	return r.g.WriteTo(w)
+}
 
-// Bytes materialises the pruned document in a fresh slice.
-func (r *PruneResult) Bytes() []byte { return r.g.Bytes() }
+// Bytes materialises the pruned document in a fresh slice (nil after
+// Close).
+func (r *PruneResult) Bytes() []byte {
+	if r.released.Load() {
+		return nil
+	}
+	if r.cached != nil {
+		return r.cached.AppendTo(nil)
+	}
+	return r.g.Bytes()
+}
 
-// Len is the rendered output size in bytes.
-func (r *PruneResult) Len() int64 { return r.g.Len() }
+// Len is the rendered output size in bytes (0 after Close).
+func (r *PruneResult) Len() int64 {
+	if r.released.Load() {
+		return 0
+	}
+	if r.cached != nil {
+		return r.cached.Len()
+	}
+	return r.g.Len()
+}
 
 // RawBytes counts output bytes referenced in place from the input —
-// bytes the prune never copied.
-func (r *PruneResult) RawBytes() int64 { return r.g.RawBytes() }
+// bytes the prune never copied. A cache-served result reports 0: its
+// bytes are a materialized copy, nothing aliases the caller's input.
+func (r *PruneResult) RawBytes() int64 {
+	if r.released.Load() || r.cached != nil {
+		return 0
+	}
+	return r.g.RawBytes()
+}
 
-// Segments is the number of gather segments (writev iovecs).
-func (r *PruneResult) Segments() int { return r.g.Segments() }
+// Segments is the number of gather segments (writev iovecs); a
+// cache-served result is one contiguous segment.
+func (r *PruneResult) Segments() int {
+	if r.released.Load() {
+		return 0
+	}
+	if r.cached != nil {
+		return 1
+	}
+	return r.g.Segments()
+}
 
 // Close releases the result's internal state for reuse. Safe to call
-// more than once; the result must not be used afterwards.
-func (r *PruneResult) Close() error { return r.g.Close() }
+// more than once (see the release contract above); the result must not
+// be used afterwards.
+func (r *PruneResult) Close() error {
+	if !r.released.CompareAndSwap(false, true) {
+		return nil
+	}
+	g := r.g
+	r.g, r.cached = nil, nil
+	if g != nil {
+		return g.Close()
+	}
+	return nil
+}
 
 // PruneGather prunes in-memory input without rendering it: output is
 // recorded as a gather list over data, so nothing is copied until the
